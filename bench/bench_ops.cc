@@ -1,0 +1,152 @@
+// Micro-benchmarks (google-benchmark) for the numerical substrate: GEMM
+// kernels, im2col convolution, masked-forward overhead, and incremental
+// step cost. These quantify the design decisions in DESIGN.md §6.
+#include <benchmark/benchmark.h>
+
+#include "baselines/any_width.h"
+#include "core/incremental.h"
+#include "core/macs.h"
+#include "models/models.h"
+#include "nn/conv2d.h"
+#include "tensor/ops.h"
+
+namespace stepping {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  fill_normal(a, 0.0f, 1.0f, rng);
+  fill_normal(b, 0.0f, 1.0f, rng);
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GemmRowsHalfActive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  fill_normal(a, 0.0f, 1.0f, rng);
+  fill_normal(b, 0.0f, 1.0f, rng);
+  std::vector<unsigned char> active(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) active[static_cast<std::size_t>(i)] = i % 2;
+  for (auto _ : state) {
+    c.zero();
+    gemm_rows(a, b, c, active.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * n * n / 2);
+}
+BENCHMARK(BM_GemmRowsHalfActive)->Arg(64)->Arg(128);
+
+void BM_Im2col(benchmark::State& state) {
+  Conv2dGeometry g{16, 32, 32, 32, 3, 1, 1};
+  Rng rng(3);
+  Tensor x({g.in_c, g.in_h, g.in_w});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  Tensor cols({g.patch(), g.out_h() * g.out_w()});
+  for (auto _ : state) {
+    im2col(x.data(), g, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_ConvForward(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  Conv2d conv("c", c, 3);
+  Rng rng(4);
+  IOSpec spec;
+  spec.units = c;
+  spec.h = 16;
+  spec.w = 16;
+  spec.assignment = std::make_shared<Assignment>(static_cast<std::size_t>(c), 1);
+  conv.wire(spec, rng);
+  Tensor x({4, c, 16, 16});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  SubnetContext ctx;
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, ctx);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward)->Arg(16)->Arg(32);
+
+/// Overhead of subnet masking: full network vs subnet-1 (10% MACs) forward.
+void BM_SubnetForward(benchmark::State& state) {
+  ModelConfig mc{.classes = 10, .expansion = 1.8, .width_mult = 0.5};
+  static Network net = build_lenet3c1l(mc);
+  static bool configured = [] {
+    const std::int64_t full = full_macs(net);
+    std::vector<std::int64_t> budgets;
+    for (const double f : {0.1, 0.3, 0.5, 0.85}) {
+      budgets.push_back(static_cast<std::int64_t>(f * 0.5 * full));
+    }
+    assign_prefix_subnets(net, solve_prefix_fractions(net, budgets));
+    return true;
+  }();
+  (void)configured;
+  Rng rng(5);
+  Tensor x({4, 3, 32, 32});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  SubnetContext ctx;
+  ctx.subnet_id = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Tensor y = net.forward(x, ctx);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel("macs=" + std::to_string(subnet_macs(net, ctx.subnet_id)));
+}
+BENCHMARK(BM_SubnetForward)->Arg(1)->Arg(2)->Arg(4);
+
+/// Incremental step 3->4 vs from-scratch subnet-4 evaluation.
+void BM_IncrementalStep(benchmark::State& state) {
+  static Network net = [] {
+    const ModelConfig mc{.classes = 10, .expansion = 1.8, .width_mult = 0.5};
+    Network n = build_lenet3c1l(mc);
+    const std::int64_t full = full_macs(n);
+    std::vector<std::int64_t> budgets;
+    for (const double f : {0.1, 0.3, 0.5, 0.85}) {
+      budgets.push_back(static_cast<std::int64_t>(f * 0.5 * full));
+    }
+    assign_prefix_subnets(n, solve_prefix_fractions(n, budgets));
+    return n;
+  }();
+  Rng rng(6);
+  Tensor x({4, 3, 32, 32});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  IncrementalExecutor ex(net);
+  const bool incremental = state.range(0) == 1;
+  for (auto _ : state) {
+    if (incremental) {
+      ex.reset();
+      ex.run(x, 3);
+      Tensor y = ex.run(x, 4);
+      benchmark::DoNotOptimize(y.data());
+    } else {
+      SubnetContext ctx;
+      ctx.subnet_id = 4;
+      Tensor y3;
+      {
+        SubnetContext c3;
+        c3.subnet_id = 3;
+        y3 = net.forward(x, c3);  // pay for level 3 ...
+      }
+      Tensor y = net.forward(x, ctx);  // ... then restart level 4
+      benchmark::DoNotOptimize(y.data());
+      benchmark::DoNotOptimize(y3.data());
+    }
+  }
+  state.SetLabel(incremental ? "3-then-step-to-4" : "3-then-scratch-4");
+}
+BENCHMARK(BM_IncrementalStep)->Arg(1)->Arg(0);
+
+}  // namespace
+}  // namespace stepping
+
+BENCHMARK_MAIN();

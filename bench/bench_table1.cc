@@ -1,0 +1,87 @@
+// Reproduces Table I: per-subnet inference accuracy (A_1..A_4) and MAC
+// ratios (M_i/M_t) for LeNet-3C1L/SynthC10, LeNet-5/SynthC10 and
+// VGG-16/SynthC100, against the original (unexpanded) network's accuracy.
+//
+// Shapes to check against the paper (absolute numbers differ — synthetic
+// data, scaled widths; see EXPERIMENTS.md):
+//   * accuracy grows monotonically (with small jitter) in MACs;
+//   * the smallest subnet is already far above chance at ~10-20% MACs;
+//   * the largest subnet lands near the original network's accuracy;
+//   * M_i/M_t land at or just below the configured budgets.
+#include <cstdio>
+
+#include "common.h"
+#include "util/table.h"
+
+using namespace stepping;
+using namespace stepping::bench;
+
+namespace {
+
+struct PaperRow {
+  const char* network;
+  const char* dataset;
+  double orig;
+  double acc[4];
+  double mac[4];
+};
+
+// The paper's Table I, for side-by-side shape comparison.
+constexpr PaperRow kPaper[] = {
+    {"LeNet-3C1L", "Cifar10", 83.36, {68.50, 77.38, 79.81, 80.40},
+     {9.65, 29.55, 48.62, 78.52}},
+    {"LeNet-5", "Cifar10", 74.96, {51.80, 59.56, 68.64, 72.03},
+     {13.64, 26.54, 55.07, 82.74}},
+    {"VGG-16", "Cifar100", 70.32, {63.26, 68.19, 68.19, 68.14},
+     {15.97, 32.54, 47.39, 67.78}},
+};
+
+}  // namespace
+
+int main() {
+  const BenchScale scale = bench_scale();
+  const char* models[] = {"lenet3c1l", "lenet5", "vgg16"};
+  // Optional filter for calibration runs: STEPPING_MODELS=lenet5,vgg16.
+  const std::string filter = env_or("STEPPING_MODELS", "");
+
+  Table table({"Network", "Dataset", "Orig.Acc", "Teacher", "A1", "M1/Mt",
+               "A2", "M2/Mt", "A3", "M3/Mt", "A4", "M4/Mt", "secs"});
+  Table paper_table({"Network", "Dataset", "Orig.Acc", "A1", "M1/Mt", "A2",
+                     "M2/Mt", "A3", "M3/Mt", "A4", "M4/Mt"});
+
+  for (int mi = 0; mi < 3; ++mi) {
+    if (!filter.empty() && filter.find(models[mi]) == std::string::npos) {
+      continue;
+    }
+    const ExperimentSpec spec = spec_for(models[mi], scale);
+    print_banner("table1", spec);
+    PipelineOptions opts;
+    opts.train_reference = true;
+    const PipelineResult r = run_steppingnet(spec, opts);
+
+    std::vector<std::string> row = {spec.model, spec.dataset,
+                                    Table::fmt_pct(r.orig_acc),
+                                    Table::fmt_pct(r.teacher_acc)};
+    for (std::size_t i = 0; i < 4; ++i) {
+      row.push_back(Table::fmt_pct(r.acc[i]));
+      row.push_back(Table::fmt_pct(r.mac_frac[i]));
+    }
+    row.push_back(Table::fmt(r.seconds, 1));
+    table.add_row(row);
+
+    const PaperRow& p = kPaper[mi];
+    std::vector<std::string> prow = {p.network, p.dataset,
+                                     Table::fmt(p.orig, 2) + "%"};
+    for (int i = 0; i < 4; ++i) {
+      prow.push_back(Table::fmt(p.acc[i], 2) + "%");
+      prow.push_back(Table::fmt(p.mac[i], 2) + "%");
+    }
+    paper_table.add_row(prow);
+  }
+
+  table.print("\n== Table I (reproduced; synthetic data, scaled widths) ==");
+  table.write_csv("bench_table1.csv");
+  paper_table.print("\n== Table I (paper reference values) ==");
+  std::printf("\nCSV written to bench_table1.csv\n");
+  return 0;
+}

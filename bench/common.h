@@ -1,0 +1,87 @@
+// Shared harness for the paper-reproduction benchmarks (Table I, Fig. 6-8).
+//
+// Each bench binary assembles ExperimentSpecs, runs the SteppingNet pipeline
+// (and/or baselines) and prints the same rows/series the paper reports.
+// STEPPING_SCALE=quick|full|paper controls dataset size, width multiplier
+// and iteration counts; `paper` matches the paper's construction counts
+// (N_t=300, m=100-250) and is CPU-hours scale.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/config.h"
+#include "core/stepping_net.h"
+#include "data/dataset.h"
+#include "util/env.h"
+
+namespace stepping::bench {
+
+struct ExperimentSpec {
+  std::string model = "lenet3c1l";   // lenet3c1l | lenet5 | vgg16
+  std::string dataset = "c10";       // c10 | c100
+  double expansion = 1.8;
+  std::vector<double> budgets = {0.10, 0.30, 0.50, 0.85};
+
+  // Scale knobs (filled by apply_scale).
+  double width_mult = 0.25;
+  int train_per_class = 120;
+  int test_per_class = 40;
+  int batch_size = 32;
+  int pretrain_epochs = 5;
+  int distill_epochs = 3;
+  int batches_per_iter = 3;   // m
+  int max_iters = 50;         // N_t
+  double lr = 0.05;
+  std::uint64_t seed = 42;
+  /// Per-spec dataset difficulty override (0 = preset default). Used to keep
+  /// each network in the paper's regime: accuracy well below saturation with
+  /// a visible capacity gradient.
+  double noise_override = 0.0;
+};
+
+/// The paper's per-network spec (model, dataset, expansion, budgets) with
+/// scale-dependent knobs for the current STEPPING_SCALE.
+ExperimentSpec spec_for(const std::string& model, BenchScale scale);
+
+struct PipelineResult {
+  std::vector<double> acc;       ///< per-subnet test accuracy
+  std::vector<double> mac_frac;  ///< per-subnet M_i / M_t
+  double orig_acc = 0.0;         ///< unexpanded original net (Table I col 3)
+  double teacher_acc = 0.0;      ///< expanded pretrained net
+  ConstructionReport report;
+  double seconds = 0.0;
+  /// The trained model, kept when PipelineOptions::keep_network is set
+  /// (benches that post-process the model, e.g. the adaptive sweep).
+  std::unique_ptr<SteppingNet> net;
+};
+
+struct PipelineOptions {
+  bool suppression = true;       ///< beta LR-suppression (Fig. 8 ablation)
+  bool distillation = true;      ///< KD retraining (Fig. 8 ablation)
+  bool train_reference = false;  ///< also train the unexpanded original
+  /// Hook applied to the SteppingConfig before construction (further
+  /// ablations: selection criterion, alpha ladder, pruning semantics, ...).
+  std::function<void(SteppingConfig&)> tweak_config;
+  /// Keep the trained SteppingNet in PipelineResult::net.
+  bool keep_network = false;
+};
+
+/// Full SteppingNet pipeline: data -> reference MACs -> pretrain ->
+/// construct -> distill -> evaluate.
+PipelineResult run_steppingnet(const ExperimentSpec& spec,
+                               const PipelineOptions& opts = {});
+
+/// Synthetic data split for a spec (c10 or c100 preset).
+DataSplit make_data(const ExperimentSpec& spec);
+
+/// MACs of the unexpanded original network for a spec (M_t).
+std::int64_t reference_macs(const ExperimentSpec& spec);
+
+/// Print the standard bench banner (scale, spec sizes).
+void print_banner(const std::string& bench_name, const ExperimentSpec& spec);
+
+}  // namespace stepping::bench

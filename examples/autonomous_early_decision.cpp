@@ -1,0 +1,139 @@
+// Scenario from the paper's introduction: an autonomous vehicle must
+// recognize potential emergencies QUICKLY — a preliminary decision now beats
+// a perfect decision after the deadline.
+//
+// Each incoming frame carries a compute deadline drawn from a fluctuating
+// budget (MACs the platform can spend before the decision is due).
+// Three policies are compared:
+//   full-only   run the largest subnet; if the deadline is shorter than its
+//               cost, the frame gets NO decision in time (counted wrong);
+//   smallest    always answer with subnet 1 (fast but less accurate);
+//   stepping    answer with subnet 1 immediately, then keep refining through
+//               subnets 2..N while budget remains — the final in-budget
+//               answer counts. Reuse makes each refinement pay only the
+//               incremental MACs.
+#include <cstdio>
+#include <vector>
+
+#include "core/incremental.h"
+#include "core/macs.h"
+#include "core/stepping_net.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "util/env.h"
+#include "util/table.h"
+
+using namespace stepping;
+
+namespace {
+
+int argmax_row(const Tensor& logits, int row) {
+  int best = 0;
+  for (int c = 1; c < logits.dim(1); ++c) {
+    if (logits.at(row, c) > logits.at(row, best)) best = c;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const double width = env_or_double("STEPPING_WIDTH", 0.25);
+  std::printf("== Early-decision scenario (autonomous platform) ==\n");
+
+  // --- Train a 4-subnet SteppingNet (small scale for the example) ---------
+  const DataSplit data = make_synthetic(synth_cifar10(/*train_per_class=*/80,
+                                                      /*test_per_class=*/30));
+  ModelConfig ref_cfg{.classes = 10, .expansion = 1.0, .width_mult = width};
+  Network reference = build_lenet3c1l(ref_cfg);
+  ModelConfig mc = ref_cfg;
+  mc.expansion = 1.8;
+
+  SteppingConfig cfg;
+  cfg.num_subnets = 4;
+  cfg.mac_budget_frac = {0.10, 0.30, 0.50, 0.85};
+  cfg.reference_macs = full_macs(reference);
+  cfg.batches_per_iter = 3;
+  cfg.max_iters = 40;
+
+  SteppingNet sn(build_lenet3c1l(mc), cfg);
+  std::printf("training (pretrain + construct + distill)...\n");
+  sn.pretrain(data.train, /*epochs=*/4);
+  sn.construct(data.train);
+  sn.distill(data.train, /*epochs=*/2);
+
+  std::vector<std::int64_t> level_macs;
+  for (int i = 1; i <= 4; ++i) level_macs.push_back(sn.macs(i));
+
+  // --- Simulate frames with fluctuating deadlines --------------------------
+  Rng rng(2024);
+  IncrementalExecutor ex(sn.network());
+  const int frames = data.test.size();
+
+  struct Policy {
+    const char* name;
+    int correct = 0;
+    std::int64_t macs_spent = 0;
+    int missed = 0;
+  };
+  Policy full{"full-only"}, small{"smallest-only"}, stepping{"stepping"};
+
+  Tensor x;
+  std::vector<int> y;
+  for (int f = 0; f < frames; ++f) {
+    data.test.batch(f, 1, x, y);
+    // Deadline: uniformly one of "tight", "medium", "roomy" regimes.
+    const double regime[] = {0.15, 0.45, 1.0};
+    const std::int64_t budget = static_cast<std::int64_t>(
+        regime[rng.next_below(3)] * static_cast<double>(level_macs.back()) * 1.1);
+
+    // full-only: decision only if the largest subnet fits the deadline.
+    if (level_macs.back() <= budget) {
+      const Tensor logits = sn.predict(x, 4);
+      if (argmax_row(logits, 0) == y[0]) ++full.correct;
+      full.macs_spent += level_macs.back();
+    } else {
+      ++full.missed;  // no decision in time
+    }
+
+    // smallest-only.
+    {
+      const Tensor logits = sn.predict(x, 1);
+      if (argmax_row(logits, 0) == y[0]) ++small.correct;
+      small.macs_spent += level_macs.front();
+    }
+
+    // stepping: refine while the remaining budget covers the next step
+    // (step cost estimated from the subnet MAC ladder before committing).
+    {
+      ex.reset();
+      std::int64_t spent = 0;
+      Tensor logits;
+      for (int level = 1; level <= 4; ++level) {
+        const std::int64_t estimate =
+            level_macs[static_cast<std::size_t>(level - 1)] -
+            (level > 1 ? level_macs[static_cast<std::size_t>(level - 2)] : 0);
+        if (level > 1 && spent + estimate > budget) break;
+        logits = ex.run(x, level);
+        spent += ex.last_step_macs();
+      }
+      stepping.macs_spent += spent;
+      if (argmax_row(logits, 0) == y[0]) ++stepping.correct;
+    }
+  }
+
+  Table table({"policy", "decision acc", "missed deadlines", "avg MACs/frame"});
+  for (const Policy* p : {&full, &small, &stepping}) {
+    table.add_row({p->name,
+                   Table::fmt_pct(static_cast<double>(p->correct) / frames),
+                   std::to_string(p->missed),
+                   std::to_string(p->macs_spent / frames)});
+  }
+  table.print("\nResults over " + std::to_string(frames) +
+              " frames with fluctuating deadlines:");
+  std::printf(
+      "\nExpected shape: 'stepping' beats 'smallest-only' on accuracy and\n"
+      "'full-only' on missed deadlines — a preliminary decision is always\n"
+      "available, refined whenever budget allows.\n");
+  return 0;
+}

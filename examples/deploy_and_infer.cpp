@@ -1,0 +1,110 @@
+// Deployment round trip: train once, serialize the artifact, reload it in a
+// fresh process-like context, and serve adaptive (confidence-gated)
+// inference with detailed metrics — the workflow a downstream user of this
+// library would actually run in production.
+//
+//   [train side]   pipeline -> save_network("model.bin")
+//   [deploy side]  build same topology -> load_network -> AdaptiveExecutor
+#include <cstdio>
+
+#include "core/adaptive.h"
+#include "core/macs.h"
+#include "core/metrics.h"
+#include "core/serialize.h"
+#include "core/stepping_net.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "util/env.h"
+#include "util/table.h"
+
+using namespace stepping;
+
+namespace {
+
+Network build_topology(double width, double expansion) {
+  ModelConfig mc{.classes = 10, .expansion = expansion, .width_mult = width};
+  return build_lenet3c1l(mc);
+}
+
+}  // namespace
+
+int main() {
+  const double width = env_or_double("STEPPING_WIDTH", 0.25);
+  const std::string path = "steppingnet_model.bin";
+  const DataSplit data = make_synthetic(synth_cifar10(/*train_per_class=*/80,
+                                                      /*test_per_class=*/30));
+
+  // ---- Train side ----------------------------------------------------------
+  {
+    std::printf("== train side ==\n");
+    Network reference = build_topology(width, 1.0);
+    SteppingConfig cfg;
+    cfg.num_subnets = 4;
+    cfg.mac_budget_frac = {0.10, 0.30, 0.50, 0.85};
+    cfg.reference_macs = full_macs(reference);
+    cfg.batches_per_iter = 3;
+    cfg.max_iters = 40;
+
+    SteppingNet sn(build_topology(width, 1.8), cfg);
+    sn.pretrain(data.train, /*epochs=*/4);
+    sn.construct(data.train);
+    sn.distill(data.train, /*epochs=*/2);
+    if (!save_network(sn.network(), path)) {
+      std::fprintf(stderr, "failed to save %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("model trained and saved to %s\n\n", path.c_str());
+  }
+
+  // ---- Deploy side ---------------------------------------------------------
+  std::printf("== deploy side ==\n");
+  Network net = build_topology(width, 1.8);  // same topology, fresh weights
+  if (!load_network(net, path)) {
+    std::fprintf(stderr, "failed to load %s\n", path.c_str());
+    return 1;
+  }
+
+  // Detailed per-subnet quality report.
+  Table quality({"subnet", "top-1", "top-3", "macro-F1", "MACs"});
+  for (int sub = 1; sub <= 4; ++sub) {
+    const EvaluationMetrics m = evaluate_metrics(net, data.test, sub, /*k=*/3);
+    quality.add_row({std::to_string(sub), Table::fmt_pct(m.top1_accuracy()),
+                     Table::fmt_pct(m.topk_accuracy()),
+                     Table::fmt(m.macro_f1(), 3),
+                     std::to_string(subnet_macs(net, sub))});
+  }
+  quality.print("reloaded model, per-subnet quality:");
+
+  // Serve with the adaptive policy under a per-request MAC budget.
+  AdaptiveConfig acfg;
+  acfg.max_subnet = 4;
+  acfg.confidence_threshold = 0.9;
+  acfg.mac_budget = static_cast<std::int64_t>(0.7 * subnet_macs(net, 4));
+  AdaptiveExecutor server(net, acfg);
+
+  int correct = 0;
+  long long macs = 0;
+  std::vector<int> exits(4, 0);
+  Tensor x;
+  std::vector<int> y;
+  for (int i = 0; i < data.test.size(); ++i) {
+    data.test.batch(i, 1, x, y);
+    const AdaptiveResult r = server.run(x);
+    macs += r.macs;
+    ++exits[static_cast<std::size_t>(r.exit_subnet - 1)];
+    int best = 0;
+    for (int c = 1; c < r.logits.dim(1); ++c) {
+      if (r.logits.at(0, c) > r.logits.at(0, best)) best = c;
+    }
+    if (best == y[0]) ++correct;
+  }
+  std::printf(
+      "\nadaptive serving (threshold 0.9, budget 70%% of subnet-4): "
+      "accuracy %.2f%%, mean MACs/request %lld\n",
+      100.0 * correct / data.test.size(),
+      macs / data.test.size());
+  std::printf("exit histogram: s1=%d s2=%d s3=%d s4=%d\n", exits[0], exits[1],
+              exits[2], exits[3]);
+  std::remove(path.c_str());
+  return 0;
+}

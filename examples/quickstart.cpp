@@ -1,0 +1,101 @@
+// Quickstart: the full SteppingNet pipeline on a synthetic CIFAR-10-like
+// task, end to end — pretrain, construct nested subnets, distill, evaluate,
+// and demonstrate incremental step-up inference.
+//
+// Knobs (env):
+//   STEPPING_WIDTH   width multiplier (default 0.25 — small enough for a
+//                    single CPU core; 1.0 = paper-faithful widths)
+//   STEPPING_EPOCHS  pretraining epochs (default 6)
+#include <cstdio>
+
+#include "core/incremental.h"
+#include "core/macs.h"
+#include "core/stepping_net.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "util/env.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace stepping;
+
+int main() {
+  const double width = env_or_double("STEPPING_WIDTH", 0.25);
+  const int epochs = static_cast<int>(env_or_int("STEPPING_EPOCHS", 6));
+
+  std::printf("== SteppingNet quickstart (width_mult=%.2f) ==\n", width);
+  Timer total;
+
+  // 1. Data: synthetic stand-in for CIFAR-10 (see DESIGN.md section 2).
+  const DataSplit data = make_synthetic(synth_cifar10(/*train_per_class=*/120,
+                                                      /*test_per_class=*/40));
+  std::printf("data: %d train / %d test images, %d classes\n",
+              data.train.size(), data.test.size(), data.train.num_classes);
+
+  // 2. Reference (unexpanded) network defines the MAC denominator M_t.
+  ModelConfig ref_cfg;
+  ref_cfg.classes = 10;
+  ref_cfg.expansion = 1.0;
+  ref_cfg.width_mult = width;
+  Network reference = build_lenet3c1l(ref_cfg);
+  const std::int64_t ref_macs = full_macs(reference);
+
+  // 3. Expanded network (paper expansion ratio 1.8 for LeNet-3C1L).
+  ModelConfig cfg = ref_cfg;
+  cfg.expansion = 1.8;
+  Network expanded = build_lenet3c1l(cfg);
+
+  SteppingConfig scfg;
+  scfg.num_subnets = 4;
+  scfg.mac_budget_frac = {0.10, 0.30, 0.50, 0.85};  // Table I budgets
+  scfg.reference_macs = ref_macs;
+  scfg.batches_per_iter = 4;
+  scfg.max_iters = 60;
+  scfg.sgd.lr = 0.05;
+
+  SteppingNet sn(std::move(expanded), scfg);
+
+  // 4. Pipeline.
+  Timer t;
+  sn.pretrain(data.train, epochs);
+  std::printf("pretrain: %.1fs, full-net test accuracy %.2f%%\n", t.seconds(),
+              100.0 * sn.accuracy(data.test, 1));
+
+  t.reset();
+  const ConstructionReport rep = sn.construct(data.train);
+  std::printf("construct: %.1fs, %d iterations, budgets met: %s\n", t.seconds(),
+              rep.iterations, rep.budgets_met ? "yes" : "no");
+
+  t.reset();
+  sn.distill(data.train, /*epochs=*/3);
+  std::printf("distill: %.1fs\n", t.seconds());
+
+  // 5. Results table (the shape of the paper's Table I).
+  Table table({"subnet", "test acc", "MACs / M_t"});
+  for (int i = 1; i <= scfg.num_subnets; ++i) {
+    table.add_row({"subnet" + std::to_string(i),
+                   Table::fmt_pct(sn.accuracy(data.test, i)),
+                   Table::fmt_pct(sn.mac_fraction(i))});
+  }
+  table.print("\nPer-subnet accuracy vs compute:");
+
+  // 6. Incremental step-up inference: reuse subnet-1 work inside subnet 4.
+  Tensor x;
+  std::vector<int> y;
+  data.test.batch(0, 8, x, y);
+  IncrementalExecutor ex(sn.network());
+  ex.run(x, 1);
+  const std::int64_t step1 = ex.last_step_macs();
+  ex.run(x, scfg.num_subnets);
+  std::printf(
+      "\nincremental step-up 1 -> %d: executed %lld MACs vs %lld from scratch "
+      "(%.1f%% reused)\n",
+      scfg.num_subnets, static_cast<long long>(ex.last_step_macs()),
+      static_cast<long long>(ex.last_full_macs()),
+      100.0 * (1.0 - static_cast<double>(ex.last_step_macs()) /
+                         static_cast<double>(ex.last_full_macs())));
+  std::printf("(first step executed %lld MACs)\n", static_cast<long long>(step1));
+
+  std::printf("\ntotal: %.1fs\n", total.seconds());
+  return 0;
+}

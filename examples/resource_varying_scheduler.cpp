@@ -1,0 +1,143 @@
+// Scenario from the paper's introduction: a mobile platform whose available
+// compute fluctuates (normal mode <-> power-saving mode, co-running tasks).
+//
+// A scheduler processes a stream of inference requests. At each time step
+// the platform grants a MAC budget; the scheduler picks the largest subnet
+// that fits and — crucially — when the budget RISES while a request is still
+// current, SteppingNet upgrades the running result in place, reusing all
+// work done so far. A slimmable-style system must restart from scratch on
+// every switch (its small-subnet intermediate results are invalidated by
+// larger subnets; paper Fig. 1a).
+//
+// The example reports accuracy and total MACs for:
+//   restart    pick-largest-fitting, recompute from scratch on every switch
+//   stepping   pick-largest-fitting with incremental upgrade (reuse)
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/incremental.h"
+#include "core/macs.h"
+#include "core/stepping_net.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "util/env.h"
+#include "util/table.h"
+
+using namespace stepping;
+
+namespace {
+
+int argmax_row(const Tensor& logits) {
+  int best = 0;
+  for (int c = 1; c < logits.dim(1); ++c) {
+    if (logits.at(0, c) > logits.at(0, best)) best = c;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const double width = env_or_double("STEPPING_WIDTH", 0.25);
+  std::printf("== Resource-varying scheduler (mobile platform) ==\n");
+
+  const DataSplit data = make_synthetic(synth_cifar10(/*train_per_class=*/80,
+                                                      /*test_per_class=*/30));
+  ModelConfig ref_cfg{.classes = 10, .expansion = 1.0, .width_mult = width};
+  Network reference = build_lenet3c1l(ref_cfg);
+  ModelConfig mc = ref_cfg;
+  mc.expansion = 1.8;
+
+  SteppingConfig cfg;
+  cfg.num_subnets = 4;
+  cfg.mac_budget_frac = {0.10, 0.30, 0.50, 0.85};
+  cfg.reference_macs = full_macs(reference);
+  cfg.batches_per_iter = 3;
+  cfg.max_iters = 40;
+
+  SteppingNet sn(build_lenet3c1l(mc), cfg);
+  std::printf("training (pretrain + construct + distill)...\n");
+  sn.pretrain(data.train, /*epochs=*/4);
+  sn.construct(data.train);
+  sn.distill(data.train, /*epochs=*/2);
+
+  std::vector<std::int64_t> level_macs;
+  for (int i = 1; i <= 4; ++i) level_macs.push_back(sn.macs(i));
+
+  // --- Simulate: each request lives through 4 scheduling ticks; the budget
+  // per tick follows a DVFS-style random walk over power states (budgets
+  // typically ramp in steps rather than jumping min->max). ------------------
+  Rng rng(7);
+  IncrementalExecutor ex(sn.network());
+  const int requests = data.test.size();
+
+  std::int64_t macs_restart = 0, macs_stepping = 0;
+  int correct_restart = 0, correct_stepping = 0;
+  int upgrades = 0;
+
+  int power_state = 0;  // 0..3, scales the per-tick budget
+  const double state_frac[] = {0.15, 0.35, 0.60, 1.05};
+  Tensor x;
+  std::vector<int> y;
+  for (int r = 0; r < requests; ++r) {
+    data.test.batch(r, 1, x, y);
+    ex.reset();
+    int level_restart = 0, level_stepping = 0;
+    int pred_restart = -1, pred_stepping = -1;
+
+    for (int tick = 0; tick < 4; ++tick) {
+      // Random walk with upward drift while a request is active (co-running
+      // tasks finishing free up compute).
+      const int step = rng.bernoulli(0.65) ? 1 : -1;
+      power_state = std::clamp(power_state + step, 0, 3);
+      const std::int64_t budget = static_cast<std::int64_t>(
+          state_frac[power_state] * static_cast<double>(level_macs.back()));
+
+      // Largest level fitting this tick's budget.
+      int target = 0;
+      for (int l = 1; l <= 4; ++l) {
+        if (level_macs[static_cast<std::size_t>(l - 1)] <= budget) target = l;
+      }
+      if (target == 0) continue;  // no capacity at all this tick
+
+      // restart policy: recompute from scratch iff the target grew.
+      if (target > level_restart) {
+        macs_restart += level_macs[static_cast<std::size_t>(target - 1)];
+        const Tensor logits = sn.predict(x, target);
+        pred_restart = argmax_row(logits);
+        level_restart = target;
+      }
+
+      // stepping policy: upgrade in place, paying only the step.
+      if (target > level_stepping) {
+        const Tensor logits = ex.run(x, target);
+        macs_stepping += ex.last_step_macs();
+        pred_stepping = argmax_row(logits);
+        if (level_stepping > 0) ++upgrades;
+        level_stepping = target;
+      }
+    }
+
+    if (pred_restart == y[0]) ++correct_restart;
+    if (pred_stepping == y[0]) ++correct_stepping;
+  }
+
+  Table table({"policy", "accuracy", "total MACs", "MACs vs restart"});
+  table.add_row({"restart-on-switch",
+                 Table::fmt_pct(static_cast<double>(correct_restart) / requests),
+                 std::to_string(macs_restart), "100.00%"});
+  table.add_row({"stepping (reuse)",
+                 Table::fmt_pct(static_cast<double>(correct_stepping) / requests),
+                 std::to_string(macs_stepping),
+                 Table::fmt_pct(static_cast<double>(macs_stepping) /
+                                static_cast<double>(macs_restart))});
+  table.print("\nResults over " + std::to_string(requests) +
+              " requests x 4 scheduling ticks:");
+  std::printf("\nmid-request upgrades handled: %d\n", upgrades);
+  std::printf(
+      "Expected shape: identical accuracy (same final subnets), with the\n"
+      "stepping policy spending substantially fewer MACs because upgrades\n"
+      "reuse all previously computed intermediate results.\n");
+  return 0;
+}

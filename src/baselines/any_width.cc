@@ -1,0 +1,124 @@
+#include "baselines/any_width.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/macs.h"
+#include "core/train_loops.h"
+
+namespace stepping {
+
+namespace {
+
+int prefix_count(int units, double f) {
+  const int c = static_cast<int>(std::ceil(f * units));
+  return std::clamp(c, f > 0.0 ? 1 : 0, units);
+}
+
+}  // namespace
+
+std::int64_t prefix_macs(Network& net, double f) {
+  std::int64_t total = 0;
+  // Track the active input units per masked layer: the input image is always
+  // fully active; body outputs are prefix-limited.
+  for (MaskedLayer* m : net.masked_layers()) {
+    const int in_units =
+        static_cast<int>(m->in_subnet().size());
+    // Producer prefix: the input assignment belongs either to the image
+    // (all 1s — fully active) or to a body layer (prefix f). The image
+    // assignment is the only one not owned by a body layer; detect it by
+    // checking whether any unit is in the discard range — instead, simply:
+    // the first masked layer's producers are image channels (fully active).
+    const bool producer_is_image = (m == net.masked_layers().front());
+    const int active_in =
+        producer_is_image ? in_units : prefix_count(in_units, f);
+    const int active_out =
+        m->is_head() ? m->num_units() : prefix_count(m->num_units(), f);
+    total += static_cast<std::int64_t>(active_out) * active_in *
+             m->col_group() * m->macs_per_weight();
+  }
+  return total;
+}
+
+std::vector<double> solve_prefix_fractions(
+    Network& net, const std::vector<std::int64_t>& budgets) {
+  std::vector<double> fracs;
+  fracs.reserve(budgets.size());
+  for (const std::int64_t budget : budgets) {
+    double lo = 0.0, hi = 1.0;
+    for (int it = 0; it < 40; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (prefix_macs(net, mid) <= budget) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    fracs.push_back(lo);
+  }
+  // Enforce nesting (budgets should already be ascending).
+  for (std::size_t i = 1; i < fracs.size(); ++i) {
+    fracs[i] = std::max(fracs[i], fracs[i - 1]);
+  }
+  return fracs;
+}
+
+void assign_prefix_subnets(Network& net, const std::vector<double>& fracs) {
+  const int n = static_cast<int>(fracs.size());
+  for (MaskedLayer* m : net.body_layers()) {
+    const int units = m->num_units();
+    for (int u = 0; u < units; ++u) {
+      int s = n + 1;  // discard pool by default
+      for (int i = 0; i < n; ++i) {
+        if (u < prefix_count(units, fracs[static_cast<std::size_t>(i)])) {
+          s = i + 1;
+          break;
+        }
+      }
+      m->set_unit_subnet(u, s);
+    }
+  }
+}
+
+AnyWidthNet::AnyWidthNet(Network net, AnyWidthConfig cfg, std::uint64_t seed)
+    : net_(std::move(net)), cfg_(std::move(cfg)), sgd_(cfg_.sgd), rng_(seed) {
+  reference_macs_ =
+      cfg_.reference_macs > 0 ? cfg_.reference_macs : full_macs(net_);
+}
+
+void AnyWidthNet::configure() {
+  assert(static_cast<int>(cfg_.mac_budget_frac.size()) == cfg_.num_subnets);
+  std::vector<std::int64_t> budgets;
+  budgets.reserve(cfg_.mac_budget_frac.size());
+  for (const double f : cfg_.mac_budget_frac) {
+    budgets.push_back(
+        static_cast<std::int64_t>(f * static_cast<double>(reference_macs_)));
+  }
+  fracs_ = solve_prefix_fractions(net_, budgets);
+  assign_prefix_subnets(net_, fracs_);
+}
+
+void AnyWidthNet::train(const Dataset& train, int epochs, int batch_size) {
+  LoaderConfig lc;
+  lc.batch_size = batch_size;
+  DataLoader loader(train, lc, rng_.fork());
+  const int batches = loader.batches_per_epoch() * epochs;
+  joint_train_batches(net_, loader, sgd_, cfg_.num_subnets, batches,
+                      /*suppression=*/false, /*harvest_importance=*/false);
+}
+
+double AnyWidthNet::accuracy(const Dataset& data, int subnet_id) {
+  return evaluate(net_, data, subnet_id);
+}
+
+std::int64_t AnyWidthNet::macs(int subnet_id) {
+  return subnet_macs(net_, subnet_id);
+}
+
+double AnyWidthNet::mac_fraction(int subnet_id) {
+  return static_cast<double>(macs(subnet_id)) /
+         static_cast<double>(reference_macs_);
+}
+
+}  // namespace stepping

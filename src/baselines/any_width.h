@@ -1,0 +1,72 @@
+// Any-width network baseline (Vu et al., "Any-Width Networks", CVPRW 2020;
+// paper reference [13]).
+//
+// The any-width network is exactly the SteppingNet structural rule applied
+// with *regular, manually chosen* nested prefixes: subnet i uses the first
+// ceil(f_i * U) units of every layer and a unit may only read producers of
+// its own or smaller prefix (triangular weight masks). We therefore reuse
+// the core masking engine: assign prefix subnets, skip the construction
+// search, and train all subnets jointly. This gives an apples-to-apples
+// Fig. 6 comparison — same substrate, only the subnet *structures* differ.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "data/dataset.h"
+#include "nn/network.h"
+#include "nn/sgd.h"
+#include "util/rng.h"
+
+namespace stepping {
+
+/// MACs the network would execute if every body layer kept only the first
+/// ceil(f * units) units (head width fixed). Pruning ignored.
+std::int64_t prefix_macs(Network& net, double f);
+
+/// Find per-subnet uniform width fractions f_1 <= ... <= f_N such that
+/// prefix_macs(f_i) is as close to `budgets[i]` as possible (binary search;
+/// MACs grow ~ f^2 so the map is monotone).
+std::vector<double> solve_prefix_fractions(Network& net,
+                                           const std::vector<std::int64_t>& budgets);
+
+/// Write prefix subnet assignments into `net`: unit u of every body layer
+/// joins the smallest subnet i with u < ceil(f_i * units); units beyond
+/// f_N go to the discard pool N+1.
+void assign_prefix_subnets(Network& net, const std::vector<double>& fracs);
+
+struct AnyWidthConfig {
+  int num_subnets = 5;
+  std::vector<double> mac_budget_frac;  ///< relative to reference_macs
+  std::int64_t reference_macs = 0;      ///< 0 = full MACs of the given net
+  SgdConfig sgd{};
+};
+
+/// The baseline's training/eval harness.
+class AnyWidthNet {
+ public:
+  AnyWidthNet(Network net, AnyWidthConfig cfg, std::uint64_t seed = 77);
+
+  /// Solve + apply the prefix structure (call once before training).
+  void configure();
+
+  /// Joint training: each mini-batch trains subnets 1..N ascending ([13]).
+  void train(const Dataset& train, int epochs, int batch_size = 32);
+
+  double accuracy(const Dataset& data, int subnet_id);
+  std::int64_t macs(int subnet_id);
+  double mac_fraction(int subnet_id);
+  Network& network() { return net_; }
+  const std::vector<double>& fractions() const { return fracs_; }
+
+ private:
+  Network net_;
+  AnyWidthConfig cfg_;
+  Sgd sgd_;
+  Rng rng_;
+  std::vector<double> fracs_;
+  std::int64_t reference_macs_ = 0;
+};
+
+}  // namespace stepping

@@ -1,0 +1,79 @@
+// Slimmable network baseline (Yu et al., ICLR 2019; paper reference [10]).
+//
+// A slimmable network runs at N width "switches": switch i uses the first
+// ceil(f_i * U) filters of every layer with *dense* connectivity inside the
+// prefix — including synapses from filters added by a wider switch into
+// filters of a narrower one. That connectivity invalidates narrow-switch
+// intermediate results on expansion (the paper's Fig. 1(a) critique), and it
+// requires one BatchNorm parameter/statistics set per switch ("switchable
+// BN"). Because this breaks the nesting invariant of the core masking
+// engine, the baseline carries its own small layer stack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/sgd.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace stepping {
+
+/// Architecture description shared by the slimmable builders.
+struct SlimSpec {
+  enum class Kind { kConvBlock, kPool, kDenseHidden, kDenseHead };
+  struct Block {
+    Kind kind;
+    int width = 0;   ///< filters / neurons (full, pre-slimming)
+    int kernel = 0;  ///< conv kernel or pool size
+  };
+  std::vector<Block> blocks;
+  int in_c = 3, in_h = 32, in_w = 32;
+};
+
+/// Mirror of the Table-I architectures ("lenet3c1l", "lenet5", "vgg16") at
+/// the same expanded widths used for SteppingNet, so Fig. 6 compares equal
+/// capacity pools.
+SlimSpec slim_spec_for_model(const std::string& name, int classes,
+                             double expansion, double width_mult = 1.0);
+
+/// Analytic MACs of the spec at uniform width fraction `f`.
+std::int64_t slim_macs_for_fraction(const SlimSpec& spec, double f);
+
+/// Width fractions whose MACs best match the given budgets (binary search).
+std::vector<double> solve_slim_fractions(const SlimSpec& spec,
+                                         const std::vector<std::int64_t>& budgets);
+
+class SlimmableNet {
+ public:
+  /// Internal layer node (public so the implementation file can define
+  /// concrete subclasses outside the class body).
+  struct LayerImpl;
+
+  SlimmableNet(const SlimSpec& spec, std::vector<double> width_fracs,
+               std::uint64_t seed = 99);
+  ~SlimmableNet();
+  SlimmableNet(SlimmableNet&&) noexcept;
+  SlimmableNet& operator=(SlimmableNet&&) noexcept;
+
+  int num_subnets() const { return static_cast<int>(fracs_.size()); }
+
+  Tensor forward(const Tensor& x, int subnet_id, bool training);
+
+  /// Joint training: each mini-batch trains every switch ascending ([10]).
+  void train(const Dataset& train, int epochs, int batch_size, SgdConfig sgd);
+
+  double accuracy(const Dataset& data, int subnet_id);
+  std::int64_t macs(int subnet_id) const;
+  const std::vector<double>& fractions() const { return fracs_; }
+
+ private:
+  std::vector<std::unique_ptr<LayerImpl>> layers_;
+  std::vector<double> fracs_;
+  Rng rng_;
+};
+
+}  // namespace stepping

@@ -1,0 +1,109 @@
+#include "core/builder.h"
+
+#include <cassert>
+
+#include "core/macs.h"
+#include "core/mover.h"
+#include "core/pruner.h"
+#include "core/train_loops.h"
+#include "util/log.h"
+
+namespace stepping {
+
+ConstructionReport construct_subnets(Network& net, const SteppingConfig& cfg,
+                                     DataLoader& loader, Sgd& sgd) {
+  const int n = cfg.num_subnets;
+  assert(static_cast<int>(cfg.mac_budget_frac.size()) == n);
+
+  ConstructionReport report;
+  report.expanded_macs = full_macs(net);
+  report.reference_macs =
+      cfg.reference_macs > 0 ? cfg.reference_macs : report.expanded_macs;
+
+  std::vector<std::int64_t> budgets(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    budgets[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(
+        cfg.mac_budget_frac[static_cast<std::size_t>(i)] *
+        static_cast<double>(report.reference_macs));
+  }
+  const std::int64_t p1 = budgets.front();
+  const std::int64_t per_iter =
+      std::max<std::int64_t>((report.expanded_macs - p1) / cfg.max_iters, 1);
+
+  auto budgets_met = [&](const std::vector<std::int64_t>& macs) {
+    for (int i = 0; i < n; ++i) {
+      if (macs[static_cast<std::size_t>(i)] > budgets[static_cast<std::size_t>(i)]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (int iter = 0; iter < cfg.max_iters; ++iter) {
+    // 1. Train all subnets for m batches, harvesting importance afresh.
+    net.reset_importance(n);
+    if (cfg.enable_suppression) net.prepare_lr_suppression(n, cfg.beta);
+    joint_train_batches(net, loader, sgd, n, cfg.batches_per_iter,
+                        cfg.enable_suppression, /*harvest_importance=*/true);
+
+    // 2. Evaluate MACs against budgets.
+    const auto macs = all_subnet_macs(net, n);
+    report.iterations = iter + 1;
+    if (budgets_met(macs)) {
+      report.budgets_met = true;
+      break;
+    }
+
+    // 3. Move least-important units up / out.
+    const MoveStats ms = move_step(net, cfg, per_iter);
+    report.total_moved_units += ms.moved_units;
+
+    // 4. Magnitude pruning — non-permanent by default (mask re-derived from
+    // live magnitudes); the permanent_pruning ablation only ANDs new zeros
+    // onto the existing mask so pruned weights never return.
+    if (cfg.enable_pruning) {
+      if (cfg.permanent_pruning) {
+        for (MaskedLayer* m : net.masked_layers()) {
+          std::vector<std::uint8_t> old_mask(m->prune_mask().begin(),
+                                             m->prune_mask().end());
+          m->apply_magnitude_prune(cfg.prune_threshold);
+          std::vector<std::uint8_t> combined(m->prune_mask().begin(),
+                                             m->prune_mask().end());
+          for (std::size_t i = 0; i < combined.size(); ++i) {
+            combined[i] = combined[i] & old_mask[i];
+          }
+          m->set_prune_mask(combined);
+        }
+      } else {
+        apply_magnitude_pruning(net, cfg.prune_threshold);
+      }
+    }
+
+    if ((iter + 1) % 10 == 0) {
+      const auto now = all_subnet_macs(net, n);
+      std::string msg = "construction iter " + std::to_string(iter + 1) + " macs:";
+      for (int i = 0; i < n; ++i) {
+        msg += " " + std::to_string(
+                         100.0 * static_cast<double>(now[static_cast<std::size_t>(i)]) /
+                         static_cast<double>(report.reference_macs)) + "%";
+      }
+      LOG_DEBUG << msg;
+    }
+    if (ms.moved_units == 0 && cfg.enable_pruning == false) {
+      LOG_WARN << "construction stalled at iteration " << iter + 1;
+      break;
+    }
+  }
+
+  report.subnet_macs = all_subnet_macs(net, n);
+  report.subnet_mac_frac.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    report.subnet_mac_frac[static_cast<std::size_t>(i)] =
+        static_cast<double>(report.subnet_macs[static_cast<std::size_t>(i)]) /
+        static_cast<double>(report.reference_macs);
+  }
+  report.budgets_met = budgets_met(report.subnet_macs);
+  return report;
+}
+
+}  // namespace stepping

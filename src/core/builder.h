@@ -1,0 +1,39 @@
+// The Figure-3 construction workflow: iteratively train, evaluate MACs,
+// move neurons, prune — until every subnet meets its MAC budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "data/loader.h"
+#include "nn/network.h"
+#include "nn/sgd.h"
+
+namespace stepping {
+
+struct ConstructionReport {
+  int iterations = 0;
+  bool budgets_met = false;
+  std::vector<std::int64_t> subnet_macs;   ///< final MACs per subnet
+  std::vector<double> subnet_mac_frac;     ///< relative to reference_macs
+  std::int64_t reference_macs = 0;
+  std::int64_t expanded_macs = 0;
+  int total_moved_units = 0;
+};
+
+/// Runs subnet construction on `net` (which must start with every unit in
+/// subnet 1, i.e. the freshly pretrained expanded network).
+///
+/// Per iteration (paper Figure 3):
+///   1. train subnets 1..N for cfg.batches_per_iter mini-batches each, in
+///      ascending order per batch, harvesting Eq. 2 importance gradients and
+///      (optionally) applying beta LR-suppression;
+///   2. evaluate per-subnet MACs; stop when every budget P_i is met;
+///   3. move the least-important units of over-budget subnets one subnet up
+///      (subnet N discards into the N+1 pool), quota (P_t - P_1)/N_t MACs;
+///   4. re-derive the magnitude prune masks.
+ConstructionReport construct_subnets(Network& net, const SteppingConfig& cfg,
+                                     DataLoader& loader, Sgd& sgd);
+
+}  // namespace stepping

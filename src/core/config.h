@@ -1,0 +1,85 @@
+// Configuration of the SteppingNet construction + retraining workflow
+// (paper §III, Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/sgd.h"
+
+namespace stepping {
+
+/// How the mover ranks candidate units (ablation of paper §III-A2).
+enum class SelectionCriterion {
+  /// Eq. 3: alpha-weighted |dL_k/dr_j| gradient importance (the paper).
+  kGradientImportance,
+  /// Naive baseline: mean |w| of the unit's incoming synapses.
+  kWeightMagnitude,
+};
+
+struct SteppingConfig {
+  /// Number of executable subnets N. Unit assignments range over
+  /// {1..N, N+1}: N+1 is the implicit "discard pool" — units the
+  /// construction removed from every subnet (the expanded network has ~
+  /// expansion^2 x the reference MACs, while even the largest subnet's
+  /// budget is below 100%, so construction must shed neurons entirely;
+  /// Table I's M_4/M_t < 100% confirms this reading).
+  int num_subnets = 4;
+
+  /// MAC budgets P_i as fractions of `reference_macs` (ascending, size
+  /// num_subnets). Table I uses e.g. {0.10, 0.30, 0.50, 0.85}.
+  std::vector<double> mac_budget_frac;
+
+  /// M_t: MACs of the unexpanded original network (the paper's budget
+  /// denominator). 0 = use the expanded network's full MACs.
+  std::int64_t reference_macs = 0;
+
+  /// m: training batches at the start of each construction iteration.
+  int batches_per_iter = 50;
+
+  /// N_t: maximum construction iterations.
+  int max_iters = 300;
+
+  /// Eq. 3 contribution ladder: alpha_k = alpha1 * alpha_growth^(k-1).
+  double alpha1 = 1.0;
+  double alpha_growth = 1.5;
+
+  /// Learning-rate suppression base (paper beta = 0.9); set
+  /// enable_suppression = false for the Fig. 8 ablation.
+  double beta = 0.9;
+  bool enable_suppression = true;
+
+  /// Eq. 4 cross-entropy weight in distillation (paper gamma = 0.4); set
+  /// enable_distillation = false for the Fig. 8 ablation.
+  double gamma = 0.4;
+  bool enable_distillation = true;
+
+  /// Unstructured magnitude-pruning threshold (paper 1e-5). Masks are
+  /// non-permanent: recomputed each iteration from live magnitudes.
+  float prune_threshold = 1e-5f;
+  bool enable_pruning = true;
+
+  /// Every executable subnet keeps at least this many units per layer so a
+  /// subnet can never structurally collapse to a zero-width bottleneck.
+  int min_units_per_layer = 1;
+
+  /// Unit ranking used by the mover (kWeightMagnitude = ablation baseline).
+  SelectionCriterion selection = SelectionCriterion::kGradientImportance;
+
+  /// Ablations of DESIGN.md §6 decision 5 (non-permanent pruning):
+  /// permanent_pruning composes masks monotonically (a pruned weight never
+  /// returns via magnitude regrowth) and revive_on_move controls the
+  /// Fig. 5(f) synapse revival when a unit changes subnet.
+  bool permanent_pruning = false;
+  bool revive_on_move = true;
+
+  SgdConfig sgd{};
+
+  double alpha(int k) const {
+    double a = alpha1;
+    for (int i = 1; i < k; ++i) a *= alpha_growth;
+    return a;
+  }
+};
+
+}  // namespace stepping

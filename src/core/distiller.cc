@@ -1,0 +1,65 @@
+#include "core/distiller.h"
+
+#include <cassert>
+#include <cstring>
+#include <numeric>
+
+#include "nn/trainer.h"
+
+namespace stepping {
+
+void distill_subnets(Network& net, const SteppingConfig& cfg,
+                     const Dataset& train, const Tensor& teacher_probs,
+                     Sgd& sgd, int epochs, int batch_size, Rng& rng) {
+  const int n_samples = train.size();
+  const int classes = teacher_probs.dim(1);
+  assert(teacher_probs.dim(0) == n_samples);
+
+  if (cfg.enable_suppression) {
+    net.prepare_lr_suppression(cfg.num_subnets, cfg.beta);
+  }
+
+  std::vector<int> order(static_cast<std::size_t>(n_samples));
+  std::iota(order.begin(), order.end(), 0);
+
+  const int c = train.channels(), h = train.height(), w = train.width();
+  const std::size_t img = static_cast<std::size_t>(c) * h * w;
+
+  SubnetContext ctx;
+  ctx.num_subnets = cfg.num_subnets;
+  ctx.training = true;
+
+  for (int e = 0; e < epochs; ++e) {
+    rng.shuffle(order);
+    for (int begin = 0; begin < n_samples; begin += batch_size) {
+      const int count = std::min(batch_size, n_samples - begin);
+      // Gather batch images, labels, and row-aligned teacher targets.
+      Tensor x({count, c, h, w});
+      Tensor tp({count, classes});
+      std::vector<int> y(static_cast<std::size_t>(count));
+      for (int i = 0; i < count; ++i) {
+        const int src = order[static_cast<std::size_t>(begin + i)];
+        std::memcpy(x.data() + static_cast<std::size_t>(i) * img,
+                    train.images.data() + static_cast<std::size_t>(src) * img,
+                    img * sizeof(float));
+        std::memcpy(tp.data() + static_cast<std::int64_t>(i) * classes,
+                    teacher_probs.data() + static_cast<std::int64_t>(src) * classes,
+                    static_cast<std::size_t>(classes) * sizeof(float));
+        y[static_cast<std::size_t>(i)] = train.labels[static_cast<std::size_t>(src)];
+      }
+      // Ascending subnet order (paper §III-B).
+      for (int k = 1; k <= cfg.num_subnets; ++k) {
+        ctx.subnet_id = k;
+        net.activate_lr_scale(cfg.enable_suppression ? k : 0);
+        if (cfg.enable_distillation) {
+          distill_batch(net, sgd, x, y, tp, cfg.gamma, ctx);
+        } else {
+          train_batch(net, sgd, x, y, ctx);
+        }
+      }
+    }
+  }
+  net.activate_lr_scale(0);
+}
+
+}  // namespace stepping

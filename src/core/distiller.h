@@ -1,0 +1,22 @@
+// Multi-subnet knowledge-distillation retraining (paper §III-B, Eq. 4).
+#pragma once
+
+#include "core/config.h"
+#include "data/dataset.h"
+#include "nn/network.h"
+#include "nn/sgd.h"
+#include "util/rng.h"
+
+namespace stepping {
+
+/// Retrain the constructed subnets with the Eq. 4 loss:
+///   L'_i = gamma * CE_i + (1 - gamma) * KL(teacher || subnet_i)
+/// Teacher targets are the frozen original network's softmax outputs,
+/// precomputed row-aligned with `train` (compute_teacher_probs). Subnets are
+/// trained in ascending order within each mini-batch, with the same beta
+/// LR-suppression as construction (when enabled).
+void distill_subnets(Network& net, const SteppingConfig& cfg,
+                     const Dataset& train, const Tensor& teacher_probs,
+                     Sgd& sgd, int epochs, int batch_size, Rng& rng);
+
+}  // namespace stepping

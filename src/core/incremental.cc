@@ -1,0 +1,125 @@
+#include "core/incremental.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "core/macs.h"
+
+namespace stepping {
+
+namespace {
+
+/// MACs a step from `from` to `to` executes in one masked layer: weights of
+/// units newly added in (from, to], plus a full head recompute.
+std::int64_t step_macs(const MaskedLayer& layer, int from, int to) {
+  if (layer.is_head()) return layer.active_weights(to) * layer.macs_per_weight();
+  std::int64_t count = 0;
+  const auto& assign = layer.unit_subnet();
+  const auto& in_assign = layer.in_subnet();
+  const auto& prune = layer.prune_mask();
+  for (int u = 0; u < layer.num_units(); ++u) {
+    const int sv = assign[static_cast<std::size_t>(u)];
+    if (sv <= from || sv > to) continue;
+    const std::uint8_t* prow =
+        prune.data() + static_cast<std::size_t>(u) * layer.num_cols();
+    for (int c = 0; c < layer.num_cols(); ++c) {
+      if (!prow[c]) continue;
+      const int su = in_assign[static_cast<std::size_t>(layer.in_unit_of(u, c))];
+      if (su <= sv) count += layer.macs_per_weight();
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+IncrementalExecutor::IncrementalExecutor(Network& net) : net_(net) {
+  layer_outputs_.resize(net_.layers().size());
+}
+
+void IncrementalExecutor::reset() {
+  cached_subnet_ = 0;
+  input_copy_ = Tensor();
+  for (auto& t : layer_outputs_) t = Tensor();
+}
+
+bool IncrementalExecutor::same_input(const Tensor& x) const {
+  if (input_copy_.shape() != x.shape()) return false;
+  return std::memcmp(input_copy_.data(), x.data(),
+                     sizeof(float) * static_cast<std::size_t>(x.numel())) == 0;
+}
+
+Tensor IncrementalExecutor::run(const Tensor& x, int subnet_id) {
+  assert(subnet_id >= 1);
+  if (cached_subnet_ != 0 && subnet_id < cached_subnet_ && same_input(x)) {
+    return step_down(x, subnet_id);
+  }
+  if (cached_subnet_ == 0 || subnet_id < cached_subnet_ || !same_input(x)) {
+    reset();
+  }
+  const int from = cached_subnet_;
+
+  SubnetContext ctx;
+  ctx.subnet_id = subnet_id;
+  ctx.training = false;
+
+  // Analytic MAC accounting for this step vs a from-scratch evaluation.
+  last_step_macs_ = 0;
+  last_full_macs_ = 0;
+  for (MaskedLayer* m : net_.masked_layers()) {
+    last_step_macs_ += step_macs(*m, from, subnet_id);
+    last_full_macs_ += m->subnet_macs(subnet_id);
+  }
+
+  Tensor cur = x;
+  const auto& layers = net_.layers();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    Tensor out = from == 0
+                     ? layers[i]->forward(cur, ctx)
+                     : layers[i]->forward_step(cur, layer_outputs_[i], from, ctx);
+    layer_outputs_[i] = out;
+    cur = std::move(out);
+  }
+  input_copy_ = x;
+  cached_subnet_ = subnet_id;
+  return cur;
+}
+
+Tensor IncrementalExecutor::step_down(const Tensor& x, int subnet_id) {
+  // Dynamic subnet REDUCTION (paper §II): every unit of the smaller subnet
+  // was already evaluated — and, by the structural invariant, to exactly the
+  // value the smaller subnet would compute. Masking the extra channels of
+  // each cached output reconstructs the smaller subnet's intermediate state;
+  // only the head must be recomputed.
+  SubnetContext ctx;
+  ctx.subnet_id = subnet_id;
+  ctx.training = false;
+
+  last_full_macs_ = 0;
+  for (MaskedLayer* m : net_.masked_layers()) {
+    last_full_macs_ += m->subnet_macs(subnet_id);
+  }
+  last_step_macs_ = net_.masked_layers().back()->subnet_macs(subnet_id);
+
+  const auto& layers = net_.layers();
+  MaskedLayer* head = net_.masked_layers().back();
+  Tensor head_input = x;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (layers[i].get() == static_cast<Layer*>(head)) {
+      layer_outputs_[i] = head->forward(head_input, ctx);
+    } else {
+      Tensor masked = layer_outputs_[i];
+      const IOSpec& spec = layers[i]->out_spec();
+      if (spec.assignment) {
+        mask_inactive_units(masked, *spec.assignment, spec.features_per_unit,
+                            subnet_id);
+      }
+      layer_outputs_[i] = std::move(masked);
+    }
+    head_input = layer_outputs_[i];
+  }
+  cached_subnet_ = subnet_id;
+  return layer_outputs_.back();
+}
+
+}  // namespace stepping

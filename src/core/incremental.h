@@ -1,0 +1,60 @@
+// Incremental step-up inference with exact computational reuse
+// (the paper's headline property: a smaller subnet's intermediate results
+// feed directly into larger subnets without recomputation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace stepping {
+
+/// Evaluates subnets in increasing order on the SAME input, computing at each
+/// step only the units the new subnet adds (plus the always-recomputed head).
+/// Because a unit's input set is identical in every subnet containing it
+/// (structural rule s(u) <= s(v)), reused activations are bit-identical to a
+/// from-scratch evaluation — property-tested in tests/core.
+///
+/// Typical use (resource-varying platform):
+///   IncrementalExecutor ex(net);
+///   Tensor logits1 = ex.run(x, 1);     // fast preliminary decision
+///   ... more compute becomes available ...
+///   Tensor logits3 = ex.run(x, 3);     // refine, reusing subnet-1 work
+class IncrementalExecutor {
+ public:
+  explicit IncrementalExecutor(Network& net);
+
+  /// Evaluate subnet `subnet_id`. Larger than the cached id: step UP,
+  /// computing only the newly added units. Smaller: step DOWN — the cached
+  /// intermediate results are masked to the smaller subnet and only the
+  /// head is recomputed (paper §II: dynamic subnet reduction also reuses).
+  /// A different input resets the cache transparently.
+  Tensor run(const Tensor& x, int subnet_id);
+
+  /// Forget cached activations (call when the input changes; run() also
+  /// detects changed inputs itself).
+  void reset();
+
+  /// MACs actually executed by the last run() call (analytic count).
+  std::int64_t last_step_macs() const { return last_step_macs_; }
+
+  /// MACs a from-scratch evaluation of the last subnet would execute.
+  std::int64_t last_full_macs() const { return last_full_macs_; }
+
+  /// Subnet id the cache currently represents (0 = empty).
+  int cached_subnet() const { return cached_subnet_; }
+
+ private:
+  bool same_input(const Tensor& x) const;
+  Tensor step_down(const Tensor& x, int subnet_id);
+
+  Network& net_;
+  Tensor input_copy_;
+  std::vector<Tensor> layer_outputs_;  // one per layer, post-activation
+  int cached_subnet_ = 0;
+  std::int64_t last_step_macs_ = 0;
+  std::int64_t last_full_macs_ = 0;
+};
+
+}  // namespace stepping

@@ -1,0 +1,71 @@
+#include "core/latency.h"
+
+#include <algorithm>
+
+#include "core/macs.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace stepping {
+
+DeviceModel device_mcu() { return {"mcu", 1e8, 0.5}; }
+DeviceModel device_mobile_cpu() { return {"mobile-cpu", 5e9, 0.2}; }
+DeviceModel device_mobile_npu() { return {"mobile-npu", 1e12, 0.1}; }
+
+DeviceModel calibrate_device(Network& net, int subnet_id, int batch, int reps) {
+  Rng rng(99);
+  Tensor x({batch, net.input_channels(), net.input_h(), net.input_w()});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  SubnetContext ctx;
+  ctx.subnet_id = subnet_id;
+  net.forward(x, ctx);  // warm-up
+  Timer t;
+  for (int r = 0; r < reps; ++r) net.forward(x, ctx);
+  const double secs = t.seconds() / reps;
+  const double macs = static_cast<double>(subnet_macs(net, subnet_id)) * batch;
+  DeviceModel dev;
+  dev.name = "host (calibrated)";
+  dev.macs_per_second = macs / std::max(secs, 1e-9);
+  dev.fixed_overhead_ms = 0.0;
+  return dev;
+}
+
+std::vector<double> subnet_latencies_ms(Network& net, int num_subnets,
+                                        const DeviceModel& dev) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(num_subnets));
+  for (int i = 1; i <= num_subnets; ++i) {
+    out.push_back(dev.latency_ms(subnet_macs(net, i)));
+  }
+  return out;
+}
+
+int largest_subnet_within(Network& net, int num_subnets, const DeviceModel& dev,
+                          double deadline_ms) {
+  int best = 0;
+  for (int i = 1; i <= num_subnets; ++i) {
+    if (dev.latency_ms(subnet_macs(net, i)) <= deadline_ms) best = i;
+  }
+  return best;
+}
+
+std::vector<double> budgets_for_latencies(const std::vector<double>& targets_ms,
+                                          const DeviceModel& dev,
+                                          std::int64_t reference_macs) {
+  std::vector<double> out;
+  out.reserve(targets_ms.size());
+  for (const double target : targets_ms) {
+    const double budget_macs =
+        std::max(0.0, (target - dev.fixed_overhead_ms)) * 1e-3 *
+        dev.macs_per_second;
+    out.push_back(budget_macs / static_cast<double>(reference_macs));
+  }
+  // Budgets must be non-decreasing for a valid SteppingConfig.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    out[i] = std::max(out[i], out[i - 1]);
+  }
+  return out;
+}
+
+}  // namespace stepping

@@ -1,0 +1,59 @@
+// Latency modelling: map analytic MAC counts to wall-clock estimates for a
+// target device, and solve deployment questions ("which subnet fits a 10 ms
+// deadline on device X?", "what budgets P_i hit these latency targets?").
+//
+// The paper's motivation is latency on resource-constrained platforms
+// (e.g. "VGG-16 can take 780 ms ... too large for autonomous driving"); the
+// library works in MACs internally, and this module is the bridge to
+// deployment-facing milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace stepping {
+
+/// A simple roofline-style device model: sustained MAC throughput plus a
+/// fixed per-inference overhead (kernel launches, memory traffic floor).
+struct DeviceModel {
+  std::string name;
+  double macs_per_second = 1e9;
+  double fixed_overhead_ms = 0.05;
+
+  double latency_ms(std::int64_t macs) const {
+    return fixed_overhead_ms +
+           1e3 * static_cast<double>(macs) / macs_per_second;
+  }
+};
+
+/// A few representative presets (orders of magnitude, for planning —
+/// calibrate_device() measures the actual host).
+DeviceModel device_mcu();        ///< microcontroller-class, ~100 MMAC/s
+DeviceModel device_mobile_cpu(); ///< phone big core, ~5 GMAC/s
+DeviceModel device_mobile_npu(); ///< phone NPU, ~1 TMAC/s
+
+/// Measure THIS host's sustained MAC throughput by timing forward passes of
+/// `net` (subnet `subnet_id`) and dividing by the analytic MAC count.
+DeviceModel calibrate_device(Network& net, int subnet_id, int batch = 4,
+                             int reps = 3);
+
+/// Latency estimate of each subnet of `net` on `dev` (subnets 1..n).
+std::vector<double> subnet_latencies_ms(Network& net, int num_subnets,
+                                        const DeviceModel& dev);
+
+/// Largest subnet meeting `deadline_ms` on `dev`, or 0 if even subnet 1
+/// misses it.
+int largest_subnet_within(Network& net, int num_subnets, const DeviceModel& dev,
+                          double deadline_ms);
+
+/// Invert the model: MAC budget fractions (relative to `reference_macs`)
+/// that hit the given latency targets on `dev`. Used to derive the
+/// SteppingConfig budgets from product-level latency requirements.
+std::vector<double> budgets_for_latencies(const std::vector<double>& targets_ms,
+                                          const DeviceModel& dev,
+                                          std::int64_t reference_macs);
+
+}  // namespace stepping

@@ -1,0 +1,25 @@
+#include "core/macs.h"
+
+namespace stepping {
+
+std::int64_t subnet_macs(Network& net, int subnet_id) {
+  std::int64_t total = 0;
+  for (MaskedLayer* m : net.masked_layers()) total += m->subnet_macs(subnet_id);
+  return total;
+}
+
+std::int64_t full_macs(Network& net) {
+  std::int64_t total = 0;
+  for (MaskedLayer* m : net.masked_layers()) total += m->full_macs();
+  return total;
+}
+
+std::vector<std::int64_t> all_subnet_macs(Network& net, int num_subnets) {
+  std::vector<std::int64_t> out(static_cast<std::size_t>(num_subnets));
+  for (int i = 1; i <= num_subnets; ++i) {
+    out[static_cast<std::size_t>(i - 1)] = subnet_macs(net, i);
+  }
+  return out;
+}
+
+}  // namespace stepping

@@ -1,0 +1,21 @@
+// Analytic MAC accounting over subnet + prune masks (DESIGN.md item 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace stepping {
+
+/// MACs executed by subnet `subnet_id` (structural rule + prune masks; the
+/// head counts weights whose producers are active in the subnet).
+std::int64_t subnet_macs(Network& net, int subnet_id);
+
+/// MACs of the whole network with every weight active (no pruning).
+std::int64_t full_macs(Network& net);
+
+/// subnet_macs for 1..num_subnets.
+std::vector<std::int64_t> all_subnet_macs(Network& net, int num_subnets);
+
+}  // namespace stepping

@@ -1,0 +1,66 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stepping {
+
+double EvaluationMetrics::macro_f1() const {
+  if (per_class.empty()) return 0.0;
+  double s = 0.0;
+  for (const ClassMetrics& c : per_class) s += c.f1();
+  return s / static_cast<double>(per_class.size());
+}
+
+EvaluationMetrics evaluate_metrics(Network& net, const Dataset& data,
+                                   int subnet_id, int k, int batch_size) {
+  EvaluationMetrics m;
+  m.num_classes = data.num_classes;
+  m.k = std::min(k, data.num_classes);
+  m.confusion.assign(
+      static_cast<std::size_t>(data.num_classes) * data.num_classes, 0);
+  m.per_class.assign(static_cast<std::size_t>(data.num_classes), {});
+
+  SubnetContext ctx;
+  ctx.subnet_id = subnet_id;
+  ctx.training = false;
+
+  Tensor x;
+  std::vector<int> y;
+  std::vector<int> order(static_cast<std::size_t>(data.num_classes));
+  for (int begin = 0; begin < data.size(); begin += batch_size) {
+    const int count = std::min(batch_size, data.size() - begin);
+    data.batch(begin, count, x, y);
+    const Tensor logits = net.forward(x, ctx);
+    const int c = logits.dim(1);
+    assert(c == data.num_classes);
+    for (int i = 0; i < count; ++i) {
+      const float* row = logits.data() + static_cast<std::int64_t>(i) * c;
+      // Rank classes by logit (descending) for top-k; top-1 = order[0].
+      order.resize(static_cast<std::size_t>(c));
+      for (int j = 0; j < c; ++j) order[static_cast<std::size_t>(j)] = j;
+      std::partial_sort(order.begin(), order.begin() + m.k, order.end(),
+                        [&](int a, int b) { return row[a] > row[b]; });
+      const int truth = y[static_cast<std::size_t>(i)];
+      const int pred = order[0];
+      ++m.total;
+      ++m.per_class[static_cast<std::size_t>(truth)].support;
+      ++m.confusion[static_cast<std::size_t>(truth) * c + pred];
+      if (pred == truth) {
+        ++m.top1_correct;
+        ++m.per_class[static_cast<std::size_t>(truth)].true_positive;
+      } else {
+        ++m.per_class[static_cast<std::size_t>(pred)].false_positive;
+      }
+      for (int j = 0; j < m.k; ++j) {
+        if (order[static_cast<std::size_t>(j)] == truth) {
+          ++m.topk_correct;
+          break;
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace stepping

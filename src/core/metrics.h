@@ -1,0 +1,57 @@
+// Classification metrics beyond top-1 accuracy: confusion matrix, per-class
+// precision/recall, top-k accuracy — per subnet, so the quality of the
+// accuracy/compute trade-off can be inspected in detail (e.g. which classes
+// a small subnet sacrifices).
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/network.h"
+
+namespace stepping {
+
+struct ClassMetrics {
+  int support = 0;        ///< ground-truth instances of the class
+  int true_positive = 0;
+  int false_positive = 0;
+
+  double precision() const {
+    const int pred = true_positive + false_positive;
+    return pred > 0 ? static_cast<double>(true_positive) / pred : 0.0;
+  }
+  double recall() const {
+    return support > 0 ? static_cast<double>(true_positive) / support : 0.0;
+  }
+  double f1() const {
+    const double p = precision(), r = recall();
+    return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+};
+
+struct EvaluationMetrics {
+  int num_classes = 0;
+  int total = 0;
+  int top1_correct = 0;
+  int topk_correct = 0;
+  int k = 1;
+  /// confusion[true * num_classes + predicted]
+  std::vector<int> confusion;
+  std::vector<ClassMetrics> per_class;
+
+  double top1_accuracy() const {
+    return total > 0 ? static_cast<double>(top1_correct) / total : 0.0;
+  }
+  double topk_accuracy() const {
+    return total > 0 ? static_cast<double>(topk_correct) / total : 0.0;
+  }
+  /// Unweighted mean of per-class F1 (macro averaging).
+  double macro_f1() const;
+};
+
+/// Evaluate subnet `subnet_id` over `data` with top-`k` accounting.
+EvaluationMetrics evaluate_metrics(Network& net, const Dataset& data,
+                                   int subnet_id, int k = 5,
+                                   int batch_size = 64);
+
+}  // namespace stepping

@@ -1,0 +1,131 @@
+#include "core/mover.h"
+
+#include <cmath>
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "core/macs.h"
+#include "util/log.h"
+
+namespace stepping {
+
+double selection_score(const MaskedLayer& layer, int unit,
+                       const SteppingConfig& cfg) {
+  const auto& imp = layer.importance();
+  const int n = static_cast<int>(imp.size());
+  const int i = layer.unit_subnet()[static_cast<std::size_t>(unit)];
+  if (i > n) return std::numeric_limits<double>::infinity();
+  if (cfg.selection == SelectionCriterion::kWeightMagnitude) {
+    // Ablation baseline: mean |w| of the unit's incoming synapses.
+    const Tensor& w = layer.weight().value;
+    const int cols = layer.num_cols();
+    double s = 0.0;
+    for (int c = 0; c < cols; ++c) {
+      s += std::fabs(w[static_cast<std::int64_t>(unit) * cols + c]);
+    }
+    return s / cols;
+  }
+  double score = 0.0;
+  for (int k = i; k <= n; ++k) {
+    score += cfg.alpha(k) *
+             imp[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(unit)];
+  }
+  return score;
+}
+
+namespace {
+
+struct Candidate {
+  MaskedLayer* layer;
+  MaskedLayer* consumer;
+  int unit;
+  double score;
+};
+
+/// Units of `subnet` across all body layers, cheapest (least important)
+/// first.
+std::vector<Candidate> gather_candidates(Network& net, int subnet,
+                                         const SteppingConfig& cfg) {
+  std::vector<Candidate> cands;
+  for (MaskedLayer* layer : net.body_layers()) {
+    if (!layer->units_movable()) continue;  // e.g. depthwise (mirrors producer)
+    MaskedLayer* consumer = net.consumer_of(layer);
+    const auto& assign = layer->unit_subnet();
+    for (int u = 0; u < layer->num_units(); ++u) {
+      if (assign[static_cast<std::size_t>(u)] != subnet) continue;
+      cands.push_back(
+          Candidate{layer, consumer, u, selection_score(*layer, u, cfg)});
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) { return a.score < b.score; });
+  return cands;
+}
+
+/// Units of `layer` present in subnet <= i.
+int units_in_subnet(const MaskedLayer& layer, int i) {
+  int count = 0;
+  for (const int s : layer.unit_subnet()) {
+    if (s <= i) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+MoveStats move_step(Network& net, const SteppingConfig& cfg,
+                    std::int64_t per_iter_macs) {
+  MoveStats stats;
+  const int n = cfg.num_subnets;
+  assert(static_cast<int>(cfg.mac_budget_frac.size()) == n);
+  const std::int64_t ref =
+      cfg.reference_macs > 0 ? cfg.reference_macs : full_macs(net);
+
+  const auto macs = all_subnet_macs(net, n);
+  for (int i = 1; i <= n; ++i) {
+    const auto budget_i = static_cast<std::int64_t>(
+        cfg.mac_budget_frac[static_cast<std::size_t>(i - 1)] * static_cast<double>(ref));
+    if (macs[static_cast<std::size_t>(i - 1)] <= budget_i) continue;
+    if (i >= 2) {
+      // Flow gating (paper Figure 5 discussion): only drain subnet i once its
+      // MAC headroom over subnet i-1 exceeds the budget gap, so subnet i
+      // retains enough newly arrived neurons.
+      const auto budget_prev = static_cast<std::int64_t>(
+          cfg.mac_budget_frac[static_cast<std::size_t>(i - 2)] *
+          static_cast<double>(ref));
+      const std::int64_t headroom =
+          macs[static_cast<std::size_t>(i - 1)] - macs[static_cast<std::size_t>(i - 2)];
+      if (headroom <= budget_i - budget_prev) continue;
+    }
+
+    auto cands = gather_candidates(net, i, cfg);
+    std::int64_t moved = 0;
+    // Per-iteration quota, but never drain a subnet below its own budget
+    // (the paper's N_t = 300 makes each quantum tiny; with the scaled-down
+    // iteration counts used on CPU this bound keeps M_i/M_t close to P_i).
+    const std::int64_t surplus = macs[static_cast<std::size_t>(i - 1)] - budget_i;
+    const std::int64_t quota = std::min(per_iter_macs, surplus);
+    for (const Candidate& c : cands) {
+      if (moved > quota) break;
+      // Keep every executable subnet structurally viable (a layer at its
+      // floor blocks only its own units; cheaper units of other layers may
+      // still move).
+      if (units_in_subnet(*c.layer, i) <= cfg.min_units_per_layer) continue;
+      moved += c.layer->move_delta_macs(c.unit, c.consumer);
+      c.layer->set_unit_subnet(c.unit, i + 1);
+      // Figure 5(f): revive the moved unit's pruned synapses — they may be
+      // essential to the destination subnet (disabled by the revive_on_move
+      // ablation).
+      if (cfg.revive_on_move) {
+        c.layer->revive_unit_row(c.unit);
+        if (c.consumer != nullptr) c.consumer->revive_in_unit_cols(c.unit);
+      }
+      ++stats.moved_units;
+    }
+    stats.moved_macs += moved;
+  }
+  return stats;
+}
+
+}  // namespace stepping

@@ -1,0 +1,33 @@
+// Neuron reallocation between subnets (paper §III-A1/A2, Figure 5).
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "nn/network.h"
+
+namespace stepping {
+
+struct MoveStats {
+  int moved_units = 0;
+  std::int64_t moved_macs = 0;
+};
+
+/// Eq. 3 selection score of `unit` in `layer` for its current subnet i:
+/// M_j^i = sum_{k=i..N} alpha_k * |dL_k/dr_j^k| using the importance
+/// accumulated since the last reset. Units in the discard pool (s > N)
+/// score +inf (never moved again).
+double selection_score(const MaskedLayer& layer, int unit,
+                       const SteppingConfig& cfg);
+
+/// One Figure-3 move step. For every subnet i (ascending) whose MAC count
+/// exceeds its budget — and, for i >= 2, whose MAC headroom over subnet i-1
+/// exceeds P_i - P_(i-1) (the paper's flow-gating rule) — move the
+/// least-important units of subnet i into subnet i+1 until the per-iteration
+/// MAC quota `per_iter_macs` = (P_t - P_1)/N_t is just exceeded. Moving from
+/// subnet N discards into the N+1 pool. Moved units have their incoming and
+/// outgoing pruned synapses revived (Figure 5(f)).
+MoveStats move_step(Network& net, const SteppingConfig& cfg,
+                    std::int64_t per_iter_macs);
+
+}  // namespace stepping

@@ -1,0 +1,52 @@
+#include "core/pruner.h"
+#include <cmath>
+#include <vector>
+
+namespace stepping {
+
+void apply_magnitude_pruning(Network& net, float threshold) {
+  for (MaskedLayer* m : net.masked_layers()) {
+    m->apply_magnitude_prune(threshold);
+  }
+}
+
+void apply_structured_pruning(Network& net, double rel_threshold) {
+  for (MaskedLayer* m : net.body_layers()) {
+    const Tensor& w = m->weight().value;
+    const int units = m->num_units();
+    const int cols = m->num_cols();
+    // Layer-wide mean |w|.
+    double layer_sum = 0.0;
+    for (std::int64_t i = 0; i < w.numel(); ++i) layer_sum += std::fabs(w[i]);
+    const double layer_mean = layer_sum / static_cast<double>(w.numel());
+    const double cut = rel_threshold * layer_mean;
+
+    std::vector<std::uint8_t> mask(m->prune_mask().begin(),
+                                   m->prune_mask().end());
+    for (int u = 0; u < units; ++u) {
+      double row_sum = 0.0;
+      for (int c = 0; c < cols; ++c) {
+        row_sum += std::fabs(w[static_cast<std::int64_t>(u) * cols + c]);
+      }
+      if (row_sum / cols < cut) {
+        std::fill(mask.begin() + static_cast<std::ptrdiff_t>(u) * cols,
+                  mask.begin() + static_cast<std::ptrdiff_t>(u + 1) * cols,
+                  std::uint8_t{0});
+      }
+    }
+    m->set_prune_mask(mask);
+  }
+}
+
+double pruned_fraction(Network& net) {
+  std::int64_t total = 0, pruned = 0;
+  for (MaskedLayer* m : net.masked_layers()) {
+    for (const auto keep : m->prune_mask()) {
+      ++total;
+      if (!keep) ++pruned;
+    }
+  }
+  return total > 0 ? static_cast<double>(pruned) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace stepping

@@ -1,0 +1,29 @@
+// Unstructured magnitude pruning (paper §III-A1, threshold 1e-5).
+//
+// Masks are *non-permanent*: forward uses masked weights but gradients keep
+// flowing to the underlying values (MaskedLayer computes dW from the raw
+// GEMM), so a pruned weight whose magnitude regrows is revived when the mask
+// is re-derived on the next construction iteration — exactly the paper's
+// "allow them to update in the following training iterations".
+#pragma once
+
+#include "nn/network.h"
+
+namespace stepping {
+
+/// Re-derive every masked layer's prune mask: keep |w| >= threshold.
+void apply_magnitude_pruning(Network& net, float threshold);
+
+/// Structured variant (the paper prunes "weights and filters"): mask the
+/// ENTIRE incoming row of body units whose mean |w| falls below
+/// `rel_threshold` x the layer's mean |w|. Composes onto the current mask;
+/// revival is a workflow-level property — each construction iteration
+/// re-derives the unstructured mask from live magnitudes before this pass,
+/// so a regrown row (or a moved unit) comes back. Heads are never
+/// structurally pruned.
+void apply_structured_pruning(Network& net, double rel_threshold);
+
+/// Fraction of pruned weights across all masked layers (diagnostics).
+double pruned_fraction(Network& net);
+
+}  // namespace stepping

@@ -1,0 +1,68 @@
+#include "core/report.h"
+
+#include "core/macs.h"
+#include "util/table.h"
+
+namespace stepping {
+
+NetworkReport build_report(Network& net, int num_subnets) {
+  NetworkReport report;
+  report.num_subnets = num_subnets;
+  for (MaskedLayer* m : net.masked_layers()) {
+    LayerReport lr;
+    lr.name = m->name();
+    lr.is_head = m->is_head();
+    lr.units = m->num_units();
+    lr.units_per_subnet.assign(static_cast<std::size_t>(num_subnets) + 1, 0);
+    for (const int s : m->unit_subnet()) {
+      const int idx = std::min(s, num_subnets + 1) - 1;
+      ++lr.units_per_subnet[static_cast<std::size_t>(idx)];
+    }
+    for (int i = 1; i <= num_subnets; ++i) {
+      lr.macs_per_subnet.push_back(m->subnet_macs(i));
+    }
+    std::int64_t pruned = 0;
+    for (const auto keep : m->prune_mask()) {
+      if (!keep) ++pruned;
+    }
+    lr.pruned_fraction =
+        static_cast<double>(pruned) / static_cast<double>(m->prune_mask().size());
+    report.layers.push_back(std::move(lr));
+  }
+  report.total_macs_per_subnet = all_subnet_macs(net, num_subnets);
+  return report;
+}
+
+std::string NetworkReport::to_string() const {
+  std::vector<std::string> header = {"layer", "units"};
+  for (int i = 1; i <= num_subnets; ++i) {
+    header.push_back("s" + std::to_string(i));
+  }
+  header.push_back("pool");
+  for (int i = 1; i <= num_subnets; ++i) {
+    header.push_back("MACs@" + std::to_string(i));
+  }
+  header.push_back("pruned");
+
+  Table t(header);
+  for (const LayerReport& lr : layers) {
+    std::vector<std::string> row = {lr.is_head ? lr.name + " (head)" : lr.name,
+                                    std::to_string(lr.units)};
+    for (const int c : lr.units_per_subnet) row.push_back(std::to_string(c));
+    for (const std::int64_t m : lr.macs_per_subnet) {
+      row.push_back(std::to_string(m));
+    }
+    row.push_back(Table::fmt_pct(lr.pruned_fraction, 1));
+    t.add_row(row);
+  }
+  std::vector<std::string> total = {"TOTAL", ""};
+  for (int i = 0; i <= num_subnets; ++i) total.push_back("");
+  for (const std::int64_t m : total_macs_per_subnet) {
+    total.push_back(std::to_string(m));
+  }
+  total.push_back("");
+  t.add_row(total);
+  return t.to_string();
+}
+
+}  // namespace stepping

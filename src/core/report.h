@@ -1,0 +1,39 @@
+// Model introspection: per-layer / per-subnet structure reports.
+//
+// Used by the CLI (`steppingnet info`), examples, and anyone debugging a
+// construction run: where did the units go, how are MACs distributed, how
+// much is pruned.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace stepping {
+
+struct LayerReport {
+  std::string name;
+  bool is_head = false;
+  int units = 0;
+  /// units_per_subnet[i] = units with assignment == i+1 (index num_subnets
+  /// holds the discard pool).
+  std::vector<int> units_per_subnet;
+  /// MACs of this layer inside each subnet 1..num_subnets.
+  std::vector<std::int64_t> macs_per_subnet;
+  double pruned_fraction = 0.0;
+};
+
+struct NetworkReport {
+  std::vector<LayerReport> layers;
+  std::vector<std::int64_t> total_macs_per_subnet;
+  int num_subnets = 0;
+
+  /// Aligned multi-line text rendering (one row per layer).
+  std::string to_string() const;
+};
+
+/// Build the report for subnets 1..num_subnets (+1 discard pool column).
+NetworkReport build_report(Network& net, int num_subnets);
+
+}  // namespace stepping

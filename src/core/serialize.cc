@@ -1,0 +1,158 @@
+#include "core/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/batchnorm.h"
+#include "nn/masked_layer.h"
+
+namespace stepping {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', 'E', 'P', 'N', 'E', 'T', '1'};
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  return v;
+}
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  write_u32(out, static_cast<std::uint32_t>(t.rank()));
+  for (int i = 0; i < t.rank(); ++i) {
+    write_u32(out, static_cast<std::uint32_t>(t.dim(i)));
+  }
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+void read_tensor_into(std::istream& in, Tensor& t) {
+  const auto rank = static_cast<int>(read_u32(in));
+  std::vector<int> shape(static_cast<std::size_t>(rank));
+  for (int i = 0; i < rank; ++i) shape[static_cast<std::size_t>(i)] = static_cast<int>(read_u32(in));
+  if (shape != t.shape()) {
+    throw std::runtime_error("load_network: tensor shape mismatch (topology differs)");
+  }
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+void write_bytes(std::ostream& out, const std::vector<std::uint8_t>& v) {
+  write_u32(out, static_cast<std::uint32_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size()));
+}
+
+void read_bytes_into(std::istream& in, std::vector<std::uint8_t>& v) {
+  const auto n = read_u32(in);
+  if (n != v.size()) throw std::runtime_error("load_network: mask size mismatch");
+  in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n));
+}
+
+void write_ints(std::ostream& out, const std::vector<int>& v) {
+  write_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const int x : v) write_u32(out, static_cast<std::uint32_t>(x));
+}
+
+std::vector<int> read_ints(std::istream& in) {
+  const auto n = read_u32(in);
+  std::vector<int> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<int>(read_u32(in));
+  return v;
+}
+
+// Layer kind tags for topology validation.
+enum class Tag : std::uint32_t { kMasked = 1, kBatchNorm = 2, kOther = 3 };
+
+}  // namespace
+
+bool save_network(Network& net, std::ostream& out) {
+  if (!net.wired()) throw std::logic_error("save_network: network not wired");
+  out.write(kMagic, sizeof kMagic);
+  write_u32(out, static_cast<std::uint32_t>(net.layers().size()));
+  for (Layer* layer : net.layer_ptrs()) {
+    if (auto* m = dynamic_cast<MaskedLayer*>(layer)) {
+      write_u32(out, static_cast<std::uint32_t>(Tag::kMasked));
+      write_u32(out, m->is_head() ? 1u : 0u);
+      write_tensor(out, m->weight().value);
+      write_tensor(out, m->bias().value);
+      write_ints(out, m->unit_subnet());
+      // prune_mask() returns const ref; copy for the generic writer.
+      std::vector<std::uint8_t> mask(m->prune_mask().begin(), m->prune_mask().end());
+      write_bytes(out, mask);
+    } else if (auto* bn = dynamic_cast<BatchNorm2d*>(layer)) {
+      write_u32(out, static_cast<std::uint32_t>(Tag::kBatchNorm));
+      write_tensor(out, bn->params()[0]->value);
+      write_tensor(out, bn->params()[1]->value);
+      write_tensor(out, const_cast<Tensor&>(bn->running_mean()));
+      write_tensor(out, const_cast<Tensor&>(bn->running_var()));
+    } else {
+      write_u32(out, static_cast<std::uint32_t>(Tag::kOther));
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool save_network(Network& net, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  return save_network(net, f);
+}
+
+bool load_network(Network& net, std::istream& in) {
+  if (!net.wired()) throw std::logic_error("load_network: network not wired");
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    throw std::runtime_error("load_network: bad magic (not a SteppingNet file)");
+  }
+  const auto count = read_u32(in);
+  if (count != net.layers().size()) {
+    throw std::runtime_error("load_network: layer count mismatch");
+  }
+  for (Layer* layer : net.layer_ptrs()) {
+    const auto tag = static_cast<Tag>(read_u32(in));
+    if (auto* m = dynamic_cast<MaskedLayer*>(layer)) {
+      if (tag != Tag::kMasked) throw std::runtime_error("load_network: expected masked layer");
+      const bool head = read_u32(in) != 0;
+      m->set_head(head);
+      read_tensor_into(in, m->weight().value);
+      read_tensor_into(in, m->bias().value);
+      const std::vector<int> assign = read_ints(in);
+      if (static_cast<int>(assign.size()) != m->num_units()) {
+        throw std::runtime_error("load_network: assignment size mismatch");
+      }
+      for (int u = 0; u < m->num_units(); ++u) {
+        m->set_unit_subnet(u, assign[static_cast<std::size_t>(u)]);
+      }
+      std::vector<std::uint8_t> mask(m->prune_mask().size());
+      read_bytes_into(in, mask);
+      m->set_prune_mask(mask);
+    } else if (auto* bn = dynamic_cast<BatchNorm2d*>(layer)) {
+      if (tag != Tag::kBatchNorm) throw std::runtime_error("load_network: expected batchnorm");
+      read_tensor_into(in, bn->params()[0]->value);
+      read_tensor_into(in, bn->params()[1]->value);
+      read_tensor_into(in, bn->mutable_running_mean());
+      read_tensor_into(in, bn->mutable_running_var());
+    } else {
+      if (tag != Tag::kOther) throw std::runtime_error("load_network: unexpected layer tag");
+    }
+    if (!in) return false;
+  }
+  return true;
+}
+
+bool load_network(Network& net, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  return load_network(net, f);
+}
+
+}  // namespace stepping

@@ -1,0 +1,71 @@
+#include "core/stepping_net.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/distiller.h"
+#include "core/macs.h"
+#include "core/train_loops.h"
+#include "nn/trainer.h"
+#include "util/log.h"
+
+namespace stepping {
+
+SteppingNet::SteppingNet(Network net, SteppingConfig cfg, std::uint64_t seed)
+    : net_(std::move(net)), cfg_(std::move(cfg)), sgd_(cfg_.sgd), rng_(seed) {
+  if (!net_.wired()) throw std::invalid_argument("SteppingNet: network not wired");
+  if (static_cast<int>(cfg_.mac_budget_frac.size()) != cfg_.num_subnets) {
+    throw std::invalid_argument("SteppingNet: budget count != num_subnets");
+  }
+  reference_macs_ = cfg_.reference_macs > 0 ? cfg_.reference_macs : full_macs(net_);
+  cfg_.reference_macs = reference_macs_;
+}
+
+double SteppingNet::pretrain(const Dataset& train, int epochs, int batch_size) {
+  // All units start in subnet 1, so subnet 1 IS the full expanded network.
+  const double loss =
+      train_plain(net_, train, sgd_, /*subnet_id=*/1, epochs, batch_size, rng_);
+  teacher_probs_ = compute_teacher_probs(net_, train, /*subnet_id=*/1, batch_size);
+  LOG_INFO << "pretrain done, final loss " << loss;
+  return loss;
+}
+
+ConstructionReport SteppingNet::construct(const Dataset& train, int batch_size) {
+  LoaderConfig lc;
+  lc.batch_size = batch_size;
+  DataLoader loader(train, lc, rng_.fork());
+  const ConstructionReport report = construct_subnets(net_, cfg_, loader, sgd_);
+  LOG_INFO << "construction finished after " << report.iterations
+           << " iters, budgets_met=" << report.budgets_met;
+  return report;
+}
+
+void SteppingNet::distill(const Dataset& train, int epochs, int batch_size) {
+  if (teacher_probs_.empty()) {
+    throw std::logic_error("SteppingNet::distill: pretrain() must run first");
+  }
+  sgd_.clear_state();  // fresh momentum for the retraining phase
+  distill_subnets(net_, cfg_, train, teacher_probs_, sgd_, epochs, batch_size,
+                  rng_);
+}
+
+double SteppingNet::accuracy(const Dataset& data, int subnet_id) {
+  return evaluate(net_, data, subnet_id);
+}
+
+std::int64_t SteppingNet::macs(int subnet_id) {
+  return subnet_macs(net_, subnet_id);
+}
+
+double SteppingNet::mac_fraction(int subnet_id) {
+  return static_cast<double>(macs(subnet_id)) /
+         static_cast<double>(reference_macs_);
+}
+
+Tensor SteppingNet::predict(const Tensor& x, int subnet_id) {
+  SubnetContext ctx;
+  ctx.subnet_id = subnet_id;
+  return net_.forward(x, ctx);
+}
+
+}  // namespace stepping

@@ -1,0 +1,82 @@
+#include "core/train_loops.h"
+
+namespace stepping {
+
+double evaluate(Network& net, const Dataset& data, int subnet_id,
+                int batch_size) {
+  return dataset_accuracy(data, batch_size,
+                          [&](const Tensor& x, const std::vector<int>& y) {
+                            return eval_batch(net, x, y, subnet_id);
+                          });
+}
+
+double train_plain(Network& net, const Dataset& train, Sgd& sgd, int subnet_id,
+                   int epochs, int batch_size, Rng& rng, bool augment) {
+  LoaderConfig lc;
+  lc.batch_size = batch_size;
+  lc.augment = augment;
+  DataLoader loader(train, lc, rng.fork());
+  SubnetContext ctx;
+  ctx.subnet_id = subnet_id;
+  ctx.training = true;
+  double last_loss = 0.0;
+  const int bpe = loader.batches_per_epoch();
+  for (int e = 0; e < epochs; ++e) {
+    double loss_sum = 0.0;
+    for (int b = 0; b < bpe; ++b) {
+      const auto batch = loader.next();
+      loss_sum += train_batch(net, sgd, batch.x, batch.y, ctx).loss;
+    }
+    last_loss = loss_sum / bpe;
+  }
+  return last_loss;
+}
+
+Tensor compute_teacher_probs(Network& net, const Dataset& data, int subnet_id,
+                             int batch_size) {
+  const int n = data.size();
+  Tensor probs;
+  Tensor x;
+  std::vector<int> y;
+  int classes = 0;
+  for (int begin = 0; begin < n; begin += batch_size) {
+    const int count = std::min(batch_size, n - begin);
+    data.batch(begin, count, x, y);
+    const Tensor p = predict_probs(net, x, subnet_id);
+    if (classes == 0) {
+      classes = p.dim(1);
+      probs = Tensor({n, classes});
+    }
+    std::copy(p.data(), p.data() + p.numel(),
+              probs.data() + static_cast<std::int64_t>(begin) * classes);
+  }
+  return probs;
+}
+
+BatchStats joint_train_batches(Network& net, DataLoader& loader, Sgd& sgd,
+                               int num_subnets, int num_batches,
+                               bool suppression, bool harvest_importance) {
+  BatchStats agg;
+  SubnetContext ctx;
+  ctx.num_subnets = num_subnets;
+  ctx.training = true;
+  ctx.harvest_importance = harvest_importance;
+  for (int b = 0; b < num_batches; ++b) {
+    const auto batch = loader.next();
+    for (int k = 1; k <= num_subnets; ++k) {
+      ctx.subnet_id = k;
+      net.activate_lr_scale(suppression ? k : 0);
+      const BatchStats s = train_batch(net, sgd, batch.x, batch.y, ctx);
+      if (k == num_subnets) {  // track the largest subnet's stats
+        agg.loss += s.loss;
+        agg.correct += s.correct;
+        agg.total += s.total;
+      }
+    }
+  }
+  net.activate_lr_scale(0);
+  if (num_batches > 0) agg.loss /= num_batches;
+  return agg;
+}
+
+}  // namespace stepping

@@ -1,0 +1,35 @@
+// Dataset-level training / evaluation loops shared by the pretrainer, the
+// construction workflow, the distiller, the baselines, and the benches.
+#pragma once
+
+#include <vector>
+
+#include "data/loader.h"
+#include "nn/trainer.h"
+
+namespace stepping {
+
+/// Top-1 accuracy of subnet `subnet_id` over `data`.
+double evaluate(Network& net, const Dataset& data, int subnet_id,
+                int batch_size = 64);
+
+/// Plain cross-entropy training of one subnet for `epochs` epochs.
+/// Returns final-epoch mean training loss.
+double train_plain(Network& net, const Dataset& train, Sgd& sgd, int subnet_id,
+                   int epochs, int batch_size, Rng& rng, bool augment = false);
+
+/// Softmax outputs of subnet `subnet_id` for every sample of `data`,
+/// row-aligned with the dataset (teacher targets for distillation).
+Tensor compute_teacher_probs(Network& net, const Dataset& data, int subnet_id,
+                             int batch_size = 64);
+
+/// One epoch of joint multi-subnet training: for each mini-batch, train
+/// subnets 1..num_subnets in ascending order (optionally with beta
+/// LR-suppression, which must have been prepared by the caller via
+/// Network::prepare_lr_suppression). Used by the construction loop, the
+/// any-width baseline, and ablations.
+BatchStats joint_train_batches(Network& net, DataLoader& loader, Sgd& sgd,
+                               int num_subnets, int num_batches,
+                               bool suppression, bool harvest_importance);
+
+}  // namespace stepping

@@ -1,0 +1,36 @@
+// In-memory labelled image dataset.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stepping {
+
+/// A dense labelled image set (NCHW). Small enough to keep in RAM; the
+/// synthetic CIFAR substitutes are a few thousand 3x32x32 images.
+struct Dataset {
+  Tensor images;            ///< (N, C, H, W)
+  std::vector<int> labels;  ///< size N, values in [0, num_classes)
+  int num_classes = 0;
+
+  int size() const { return images.empty() ? 0 : images.dim(0); }
+  int channels() const { return images.dim(1); }
+  int height() const { return images.dim(2); }
+  int width() const { return images.dim(3); }
+
+  /// Copy of images[indices] with matching labels.
+  Dataset subset(const std::vector<int>& indices) const;
+
+  /// Batch starting at `begin` of up to `count` images (by index order).
+  void batch(int begin, int count, Tensor& x, std::vector<int>& y) const;
+};
+
+/// Train/test pair.
+struct DataSplit {
+  Dataset train;
+  Dataset test;
+};
+
+}  // namespace stepping

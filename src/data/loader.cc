@@ -1,0 +1,111 @@
+#include "data/loader.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <numeric>
+
+namespace stepping {
+
+// ---- Dataset --------------------------------------------------------------
+
+Dataset Dataset::subset(const std::vector<int>& indices) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  const int n = static_cast<int>(indices.size());
+  out.images = Tensor({n, channels(), height(), width()});
+  out.labels.resize(static_cast<std::size_t>(n));
+  const std::size_t img = static_cast<std::size_t>(channels()) * height() * width();
+  for (int i = 0; i < n; ++i) {
+    const int src = indices[static_cast<std::size_t>(i)];
+    assert(src >= 0 && src < size());
+    std::memcpy(out.images.data() + static_cast<std::size_t>(i) * img,
+                images.data() + static_cast<std::size_t>(src) * img,
+                img * sizeof(float));
+    out.labels[static_cast<std::size_t>(i)] = labels[static_cast<std::size_t>(src)];
+  }
+  return out;
+}
+
+void Dataset::batch(int begin, int count, Tensor& x, std::vector<int>& y) const {
+  assert(begin >= 0 && begin + count <= size());
+  const std::size_t img = static_cast<std::size_t>(channels()) * height() * width();
+  if (x.rank() != 4 || x.dim(0) != count || x.dim(1) != channels() ||
+      x.dim(2) != height() || x.dim(3) != width()) {
+    x = Tensor({count, channels(), height(), width()});
+  }
+  std::memcpy(x.data(), images.data() + static_cast<std::size_t>(begin) * img,
+              static_cast<std::size_t>(count) * img * sizeof(float));
+  y.assign(labels.begin() + begin, labels.begin() + begin + count);
+}
+
+// ---- DataLoader -----------------------------------------------------------
+
+DataLoader::DataLoader(const Dataset& data, LoaderConfig cfg, Rng rng)
+    : data_(data), cfg_(cfg), rng_(rng) {
+  assert(data_.size() > 0 && cfg_.batch_size > 0);
+  order_.resize(static_cast<std::size_t>(data_.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  if (cfg_.shuffle) rng_.shuffle(order_);
+}
+
+int DataLoader::batches_per_epoch() const {
+  return (data_.size() + cfg_.batch_size - 1) / cfg_.batch_size;
+}
+
+void DataLoader::reshuffle() {
+  ++epoch_;
+  cursor_ = 0;
+  if (cfg_.shuffle) rng_.shuffle(order_);
+}
+
+DataLoader::Batch DataLoader::next() {
+  if (cursor_ >= data_.size()) reshuffle();
+  const int count = std::min(cfg_.batch_size, data_.size() - cursor_);
+  Batch b;
+  const int c = data_.channels(), h = data_.height(), w = data_.width();
+  b.x = Tensor({count, c, h, w});
+  b.y.resize(static_cast<std::size_t>(count));
+  const std::size_t img = static_cast<std::size_t>(c) * h * w;
+  for (int i = 0; i < count; ++i) {
+    const int src = order_[static_cast<std::size_t>(cursor_ + i)];
+    std::memcpy(b.x.data() + static_cast<std::size_t>(i) * img,
+                data_.images.data() + static_cast<std::size_t>(src) * img,
+                img * sizeof(float));
+    b.y[static_cast<std::size_t>(i)] = data_.labels[static_cast<std::size_t>(src)];
+  }
+  cursor_ += count;
+  if (cfg_.augment) apply_augmentation(b.x);
+  return b;
+}
+
+void DataLoader::apply_augmentation(Tensor& x) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  std::vector<float> scratch(static_cast<std::size_t>(c) * h * w);
+  for (int i = 0; i < n; ++i) {
+    float* img = x.data() + static_cast<std::size_t>(i) * c * h * w;
+    const bool flip = rng_.bernoulli(0.5);
+    const int sx = cfg_.pad_shift > 0 ? rng_.uniform_int(-cfg_.pad_shift, cfg_.pad_shift) : 0;
+    const int sy = cfg_.pad_shift > 0 ? rng_.uniform_int(-cfg_.pad_shift, cfg_.pad_shift) : 0;
+    if (!flip && sx == 0 && sy == 0) continue;
+    std::memcpy(scratch.data(), img, scratch.size() * sizeof(float));
+    for (int ch = 0; ch < c; ++ch) {
+      const float* src_plane = scratch.data() + static_cast<std::size_t>(ch) * h * w;
+      float* dst_plane = img + static_cast<std::size_t>(ch) * h * w;
+      for (int y = 0; y < h; ++y) {
+        for (int xx = 0; xx < w; ++xx) {
+          int px = xx + sx;
+          const int py = y + sy;
+          if (flip) px = w - 1 - px;
+          float v = 0.0f;
+          if (px >= 0 && px < w && py >= 0 && py < h) {
+            v = src_plane[static_cast<std::size_t>(py) * w + px];
+          }
+          dst_plane[static_cast<std::size_t>(y) * w + xx] = v;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace stepping

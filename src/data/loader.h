@@ -1,0 +1,66 @@
+// Mini-batch loader with shuffling and light augmentation.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace stepping {
+
+struct LoaderConfig {
+  int batch_size = 32;
+  bool shuffle = true;
+  /// Augmentation: random horizontal flip and +-`pad_shift` pixel shift with
+  /// zero padding (applied on training loaders only).
+  bool augment = false;
+  int pad_shift = 2;
+};
+
+/// Cyclic mini-batch iterator over a Dataset. `next()` returns consecutive
+/// batches and transparently reshuffles at each epoch boundary.
+class DataLoader {
+ public:
+  DataLoader(const Dataset& data, LoaderConfig cfg, Rng rng);
+
+  struct Batch {
+    Tensor x;
+    std::vector<int> y;
+  };
+
+  /// Next mini-batch (never empty; wraps across epochs).
+  Batch next();
+
+  int batches_per_epoch() const;
+  int epoch() const { return epoch_; }
+  const Dataset& dataset() const { return data_; }
+
+ private:
+  void reshuffle();
+  void apply_augmentation(Tensor& x);
+
+  const Dataset& data_;
+  LoaderConfig cfg_;
+  Rng rng_;
+  std::vector<int> order_;
+  int cursor_ = 0;
+  int epoch_ = 0;
+};
+
+/// Full-dataset top-1 accuracy of `eval` over mini-batches.
+/// `eval` is callable as int(const Tensor& x, const std::vector<int>& y)
+/// returning the number of correct predictions in the batch.
+template <typename EvalFn>
+double dataset_accuracy(const Dataset& data, int batch_size, EvalFn&& eval) {
+  int correct = 0;
+  Tensor x;
+  std::vector<int> y;
+  for (int begin = 0; begin < data.size(); begin += batch_size) {
+    const int count = std::min(batch_size, data.size() - begin);
+    data.batch(begin, count, x, y);
+    correct += eval(x, y);
+  }
+  return data.size() > 0 ? static_cast<double>(correct) / data.size() : 0.0;
+}
+
+}  // namespace stepping

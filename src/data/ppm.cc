@@ -1,0 +1,81 @@
+#include "data/ppm.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace stepping {
+
+namespace {
+
+/// Rescale one image (C,H,W floats) to 8-bit RGB rows.
+std::vector<unsigned char> to_rgb(const Dataset& data, int index) {
+  const int c = data.channels(), h = data.height(), w = data.width();
+  const std::int64_t img = static_cast<std::int64_t>(c) * h * w;
+  const float* p = data.images.data() + index * img;
+  float lo = p[0], hi = p[0];
+  for (std::int64_t i = 1; i < img; ++i) {
+    lo = std::min(lo, p[i]);
+    hi = std::max(hi, p[i]);
+  }
+  const float scale = hi > lo ? 255.0f / (hi - lo) : 0.0f;
+  std::vector<unsigned char> rgb(static_cast<std::size_t>(h) * w * 3);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int ch = 0; ch < 3; ++ch) {
+        const int src_ch = std::min(ch, c - 1);
+        const float v = p[(static_cast<std::int64_t>(src_ch) * h + y) * w + x];
+        rgb[(static_cast<std::size_t>(y) * w + x) * 3 + ch] =
+            static_cast<unsigned char>(std::clamp((v - lo) * scale, 0.0f, 255.0f));
+      }
+    }
+  }
+  return rgb;
+}
+
+}  // namespace
+
+bool write_ppm(const Dataset& data, int index, const std::string& path) {
+  if (index < 0 || index >= data.size()) return false;
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const int h = data.height(), w = data.width();
+  f << "P6\n" << w << " " << h << "\n255\n";
+  const auto rgb = to_rgb(data, index);
+  f.write(reinterpret_cast<const char*>(rgb.data()),
+          static_cast<std::streamsize>(rgb.size()));
+  return static_cast<bool>(f);
+}
+
+bool write_ppm_grid(const Dataset& data, int rows, int cols,
+                    const std::string& path) {
+  if (rows <= 0 || cols <= 0 || rows * cols > data.size()) return false;
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const int h = data.height(), w = data.width();
+  const int gw = cols * (w + 1) - 1, gh = rows * (h + 1) - 1;
+  std::vector<unsigned char> canvas(static_cast<std::size_t>(gw) * gh * 3, 32);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const auto rgb = to_rgb(data, r * cols + c);
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          const std::size_t dst =
+              ((static_cast<std::size_t>(r) * (h + 1) + y) * gw +
+               static_cast<std::size_t>(c) * (w + 1) + x) *
+              3;
+          for (int ch = 0; ch < 3; ++ch) {
+            canvas[dst + ch] = rgb[(static_cast<std::size_t>(y) * w + x) * 3 + ch];
+          }
+        }
+      }
+    }
+  }
+  f << "P6\n" << gw << " " << gh << "\n255\n";
+  f.write(reinterpret_cast<const char*>(canvas.data()),
+          static_cast<std::streamsize>(canvas.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace stepping

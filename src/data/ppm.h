@@ -1,0 +1,21 @@
+// PPM (P6) export of dataset images for visual inspection of the synthetic
+// CIFAR substitutes (e.g. `steppingnet`-adjacent debugging, documentation).
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace stepping {
+
+/// Write image `index` of `data` as a binary PPM. Values are linearly
+/// rescaled from the tensor's [min, max] to [0, 255] per image; grayscale
+/// (1-channel) images are replicated across RGB. Returns false on I/O error.
+bool write_ppm(const Dataset& data, int index, const std::string& path);
+
+/// Write a grid of the first `rows` x `cols` images (row-major by dataset
+/// index) into one PPM contact sheet with a 1-pixel separator.
+bool write_ppm_grid(const Dataset& data, int rows, int cols,
+                    const std::string& path);
+
+}  // namespace stepping

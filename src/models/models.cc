@@ -1,0 +1,111 @@
+#include "models/models.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/depthwise_conv2d.h"
+#include "nn/simple_layers.h"
+
+namespace stepping {
+
+namespace {
+
+/// Scale a base width by expansion * width_mult, minimum 2 units.
+int scaled(int base, const ModelConfig& cfg) {
+  const int v = static_cast<int>(std::lround(base * cfg.expansion * cfg.width_mult));
+  return std::max(v, 2);
+}
+
+void add_conv_block(Network& net, const std::string& name, int channels,
+                    int kernel) {
+  net.emplace<Conv2d>(name, channels, kernel);
+  net.emplace<BatchNorm2d>(name + "_bn");
+  net.emplace<ReLU>(name + "_relu");
+}
+
+}  // namespace
+
+Network build_lenet3c1l(const ModelConfig& cfg) {
+  Network net;
+  add_conv_block(net, "c1", scaled(32, cfg), 5);
+  net.emplace<MaxPool2d>("p1", 2);
+  add_conv_block(net, "c2", scaled(48, cfg), 5);
+  net.emplace<MaxPool2d>("p2", 2);
+  add_conv_block(net, "c3", scaled(64, cfg), 5);
+  net.emplace<MaxPool2d>("p3", 2);
+  net.emplace<Flatten>("flat");
+  net.emplace<Dense>("fc", cfg.classes);
+  Rng rng(cfg.seed);
+  net.wire(cfg.in_channels, cfg.in_h, cfg.in_w, rng);
+  return net;
+}
+
+Network build_lenet5(const ModelConfig& cfg) {
+  Network net;
+  add_conv_block(net, "c1", scaled(6, cfg), 5);
+  net.emplace<MaxPool2d>("p1", 2);
+  add_conv_block(net, "c2", scaled(16, cfg), 5);
+  net.emplace<MaxPool2d>("p2", 2);
+  net.emplace<Flatten>("flat");
+  net.emplace<Dense>("fc1", scaled(120, cfg));
+  net.emplace<ReLU>("fc1_relu");
+  net.emplace<Dense>("fc2", scaled(84, cfg));
+  net.emplace<ReLU>("fc2_relu");
+  net.emplace<Dense>("fc3", cfg.classes);
+  Rng rng(cfg.seed);
+  net.wire(cfg.in_channels, cfg.in_h, cfg.in_w, rng);
+  return net;
+}
+
+Network build_vgg16(const ModelConfig& cfg) {
+  Network net;
+  const int stage_channels[5] = {64, 128, 256, 512, 512};
+  const int stage_depth[5] = {2, 2, 3, 3, 3};
+  int li = 0;
+  for (int s = 0; s < 5; ++s) {
+    for (int d = 0; d < stage_depth[s]; ++d) {
+      add_conv_block(net, "c" + std::to_string(++li), scaled(stage_channels[s], cfg), 3);
+    }
+    net.emplace<MaxPool2d>("p" + std::to_string(s + 1), 2);
+  }
+  net.emplace<Flatten>("flat");
+  net.emplace<Dense>("fc", cfg.classes);
+  Rng rng(cfg.seed);
+  net.wire(cfg.in_channels, cfg.in_h, cfg.in_w, rng);
+  return net;
+}
+
+Network build_mobilenet_small(const ModelConfig& cfg) {
+  Network net;
+  add_conv_block(net, "stem", scaled(16, cfg), 3);
+  const int widths[3] = {32, 64, 128};
+  for (int s = 0; s < 3; ++s) {
+    const std::string tag = "ds" + std::to_string(s + 1);
+    net.emplace<DepthwiseConv2d>(tag + "_dw", 3);
+    net.emplace<BatchNorm2d>(tag + "_dw_bn");
+    net.emplace<ReLU>(tag + "_dw_relu");
+    // Pointwise 1x1 mixes channels (a normal masked Conv2d).
+    net.emplace<Conv2d>(tag + "_pw", scaled(widths[s], cfg), 1);
+    net.emplace<BatchNorm2d>(tag + "_pw_bn");
+    net.emplace<ReLU>(tag + "_pw_relu");
+    net.emplace<MaxPool2d>("p" + std::to_string(s + 1), 2);
+  }
+  net.emplace<Flatten>("flat");
+  net.emplace<Dense>("fc", cfg.classes);
+  Rng rng(cfg.seed);
+  net.wire(cfg.in_channels, cfg.in_h, cfg.in_w, rng);
+  return net;
+}
+
+Network build_model(const std::string& name, const ModelConfig& cfg) {
+  if (name == "lenet3c1l") return build_lenet3c1l(cfg);
+  if (name == "lenet5") return build_lenet5(cfg);
+  if (name == "vgg16") return build_vgg16(cfg);
+  if (name == "mobilenet_small") return build_mobilenet_small(cfg);
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+}  // namespace stepping

@@ -1,0 +1,51 @@
+// Model zoo: the three architectures of the paper's evaluation (Table I).
+//
+// Each builder takes:
+//  * `classes`     — output classes (10 for SynthCIFAR10, 100 for -100);
+//  * `expansion`   — the paper's width-expansion ratio applied to every
+//                    layer's neuron/filter count before subnet construction
+//                    (Table I uses 1.8 / 2.0 / 1.8);
+//  * `width_mult`  — an additional global width multiplier used by the
+//                    benchmark harness to scale compute to the host
+//                    (1.0 = paper-faithful widths).
+// Networks are returned wired for (3, 32, 32) inputs.
+#pragma once
+
+#include <string>
+
+#include "nn/network.h"
+
+namespace stepping {
+
+struct ModelConfig {
+  int classes = 10;
+  double expansion = 1.0;
+  double width_mult = 1.0;
+  std::uint64_t seed = 7;
+  int in_channels = 3;
+  int in_h = 32;
+  int in_w = 32;
+};
+
+/// LeNet-3C1L: three 5x5 conv blocks (conv-BN-ReLU-maxpool) and one
+/// fully-connected classifier, the paper's smallest test case.
+Network build_lenet3c1l(const ModelConfig& cfg);
+
+/// LeNet-5: two 5x5 conv blocks and three fully-connected layers
+/// (120-84-classes), adapted to 3x32x32 inputs.
+Network build_lenet5(const ModelConfig& cfg);
+
+/// VGG-16 (CIFAR variant): thirteen 3x3 conv layers in five pooled stages
+/// (64-64 / 128-128 / 256x3 / 512x3 / 512x3) and a single FC classifier.
+Network build_vgg16(const ModelConfig& cfg);
+
+/// A small MobileNet-style network: 3x3 stem + three depthwise-separable
+/// stages (dw3x3 + pw1x1, each BN+ReLU) with 2x2 pooling between stages.
+/// Demonstrates that the masking engine extends to the depthwise-separable
+/// family the paper's related work ([5]-[7]) scales by width multipliers.
+Network build_mobilenet_small(const ModelConfig& cfg);
+
+/// Dispatch by name: "lenet3c1l", "lenet5", "vgg16", "mobilenet_small".
+Network build_model(const std::string& name, const ModelConfig& cfg);
+
+}  // namespace stepping

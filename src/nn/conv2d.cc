@@ -1,0 +1,167 @@
+#include "nn/conv2d.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace stepping {
+
+Conv2d::Conv2d(std::string name, int out_channels, int kernel, int stride,
+               int pad)
+    : name_(std::move(name)),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad < 0 ? kernel / 2 : pad) {
+  if (out_channels <= 0 || kernel <= 0 || stride <= 0) {
+    throw std::invalid_argument("Conv2d: bad hyperparameters");
+  }
+}
+
+IOSpec Conv2d::wire(const IOSpec& in, Rng& rng) {
+  if (in.flat) throw std::invalid_argument(name_ + ": Conv2d needs spatial input");
+  geom_ = Conv2dGeometry{in.units, in.h, in.w, out_channels_, kernel_, stride_,
+                         pad_};
+  if (geom_.out_h() <= 0 || geom_.out_w() <= 0) {
+    throw std::invalid_argument(name_ + ": output collapses to zero size");
+  }
+  const int patch = geom_.patch();
+  init_structure(out_channels_, patch, kernel_ * kernel_,
+                 static_cast<std::int64_t>(geom_.out_h()) * geom_.out_w(),
+                 in.assignment, rng, patch);
+  IOSpec out;
+  out.units = out_channels_;
+  out.features_per_unit = 1;
+  out.h = geom_.out_h();
+  out.w = geom_.out_w();
+  out.flat = false;
+  out.assignment = out_assign_;
+  return out;
+}
+
+Tensor Conv2d::forward(const Tensor& x, const SubnetContext& ctx) {
+  assert(x.rank() == 4 && x.dim(1) == geom_.in_c);
+  const int n = x.dim(0);
+  const int oh = geom_.out_h(), ow = geom_.out_w();
+  const int spatial = oh * ow;
+  const Tensor& w = effective_weights();
+  const auto& active = active_flags(ctx.subnet_id);
+
+  Tensor y({n, units_, oh, ow});  // zero-filled; inactive units stay zero
+  Tensor cols({geom_.patch(), spatial});
+  Tensor yi({units_, spatial});
+  const std::int64_t in_img = static_cast<std::int64_t>(geom_.in_c) * geom_.in_h *
+                              geom_.in_w;
+  const std::int64_t out_img = static_cast<std::int64_t>(units_) * spatial;
+  for (int i = 0; i < n; ++i) {
+    im2col(x.data() + i * in_img, geom_, cols.data());
+    // y_i (U x S) = w (U x P) * cols (P x S), active rows only.
+    yi.zero();
+    gemm_rows(w, cols, yi, active.data());
+    float* dst = y.data() + i * out_img;
+    const float* b = bias_.value.data();
+    const float* src = yi.data();
+    for (int u = 0; u < units_; ++u) {
+      if (!active[static_cast<std::size_t>(u)]) continue;
+      const float bu = b[u];
+      for (int s = 0; s < spatial; ++s) {
+        dst[static_cast<std::int64_t>(u) * spatial + s] =
+            src[static_cast<std::int64_t>(u) * spatial + s] + bu;
+      }
+    }
+  }
+
+  if (ctx.training) {
+    x_cache_ = x;
+    preact_cache_ = y;  // Eq. 2 harvesting (inactive units zero, skipped)
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_y_in, const SubnetContext& ctx) {
+  Tensor grad_y = grad_y_in;
+  const int n = grad_y.dim(0);
+  const int oh = geom_.out_h(), ow = geom_.out_w();
+  const int spatial = oh * ow;
+  if (!is_head_) mask_inactive_units(grad_y, *out_assign_, 1, ctx.subnet_id);
+
+  if (ctx.harvest_importance) {
+    harvest_importance(grad_y, preact_cache_, ctx, spatial);
+  }
+
+  if (weight_.grad.shape() != weight_.value.shape()) weight_.zero_grad();
+  if (bias_.grad.shape() != bias_.value.shape()) bias_.zero_grad();
+
+  const Tensor& w = effective_weights();
+  const auto& active = active_flags(ctx.subnet_id);
+  Tensor grad_x(x_cache_.shape());
+  Tensor cols({geom_.patch(), spatial});
+  Tensor dcols({geom_.patch(), spatial});
+  const std::int64_t in_img = static_cast<std::int64_t>(geom_.in_c) * geom_.in_h *
+                              geom_.in_w;
+  const std::int64_t out_img = static_cast<std::int64_t>(units_) * spatial;
+
+  for (int i = 0; i < n; ++i) {
+    im2col(x_cache_.data() + i * in_img, geom_, cols.data());
+    Tensor gi({units_, spatial},
+              std::vector<float>(grad_y.data() + i * out_img,
+                                 grad_y.data() + (i + 1) * out_img));
+    // dW (U x P) += gi (U x S) * cols^T (S x P), active units only (grads of
+    // inactive units are identically zero).
+    gemm_nt_rows_acc(gi, cols, weight_.grad, active.data());
+    // db += row sums of gi
+    float* db = bias_.grad.data();
+    const float* g = gi.data();
+    for (int u = 0; u < units_; ++u) {
+      if (!active[static_cast<std::size_t>(u)]) continue;
+      float acc = 0.0f;
+      for (int s = 0; s < spatial; ++s)
+        acc += g[static_cast<std::int64_t>(u) * spatial + s];
+      db[u] += acc;
+    }
+    // dcols (P x S) = w^T (P x U) * gi (U x S), skipping inactive units.
+    gemm_tn_rows(w, gi, dcols, active.data());
+    col2im(dcols.data(), geom_, grad_x.data() + i * in_img);
+  }
+  return grad_x;
+}
+
+Tensor Conv2d::forward_step(const Tensor& x, const Tensor& cached_y,
+                            int from_subnet, const SubnetContext& ctx) {
+  assert(!ctx.training);
+  if (cached_y.empty()) return forward(x, ctx);
+  const int n = x.dim(0);
+  const int spatial = geom_.out_h() * geom_.out_w();
+  const Tensor& w = effective_weights();
+  Tensor y = cached_y;  // reuse results of units evaluated at from_subnet
+
+  Tensor cols({geom_.patch(), spatial});
+  const std::int64_t in_img = static_cast<std::int64_t>(geom_.in_c) * geom_.in_h *
+                              geom_.in_w;
+  const std::int64_t out_img = static_cast<std::int64_t>(units_) * spatial;
+  const float* b = bias_.value.data();
+  for (int i = 0; i < n; ++i) {
+    im2col(x.data() + i * in_img, geom_, cols.data());
+    for (int u = 0; u < units_; ++u) {
+      const int sv = is_head_ ? ctx.subnet_id  // head: always recompute
+                              : (*out_assign_)[static_cast<std::size_t>(u)];
+      const bool is_new = is_head_ || (sv > from_subnet && sv <= ctx.subnet_id);
+      if (!is_new) continue;
+      float* dst = y.data() + i * out_img + static_cast<std::int64_t>(u) * spatial;
+      const float* wrow = w.data() + static_cast<std::int64_t>(u) * cols_;
+      // Same accumulation order as forward's GEMM (bias added last) so
+      // step-up results are bit-identical to a from-scratch evaluation.
+      for (int s = 0; s < spatial; ++s) dst[s] = 0.0f;
+      for (int p = 0; p < cols_; ++p) {
+        const float wv = wrow[p];
+        if (wv == 0.0f) continue;
+        const float* crow = cols.data() + static_cast<std::int64_t>(p) * spatial;
+        for (int s = 0; s < spatial; ++s) dst[s] += wv * crow[s];
+      }
+      for (int s = 0; s < spatial; ++s) dst[s] += b[u];
+    }
+  }
+  if (!is_head_) mask_inactive_units(y, *out_assign_, 1, ctx.subnet_id);
+  return y;
+}
+
+}  // namespace stepping

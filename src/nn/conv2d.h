@@ -1,0 +1,45 @@
+// Subnet-aware 2-D convolution (NCHW), lowered to GEMM via im2col.
+//
+// Each output filter is a "unit" in the paper's sense; the structural rule
+// s(in) <= s(out) gates whole kernel-column groups of the weight matrix.
+#pragma once
+
+#include <vector>
+
+#include "nn/masked_layer.h"
+#include "tensor/ops.h"
+
+namespace stepping {
+
+class Conv2d final : public MaskedLayer {
+ public:
+  /// pad < 0 selects "same" padding (kernel / 2).
+  Conv2d(std::string name, int out_channels, int kernel, int stride = 1,
+         int pad = -1);
+
+  std::string name() const override { return name_; }
+  IOSpec wire(const IOSpec& in, Rng& rng) override;
+  Tensor forward(const Tensor& x, const SubnetContext& ctx) override;
+  Tensor backward(const Tensor& grad_y, const SubnetContext& ctx) override;
+  Tensor forward_step(const Tensor& x, const Tensor& cached_y, int from_subnet,
+                      const SubnetContext& ctx) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Conv2d>(*this);
+  }
+
+  const Conv2dGeometry& geometry() const { return geom_; }
+
+ private:
+  std::string name_;
+  int out_channels_;
+  int kernel_;
+  int stride_;
+  int pad_;
+  Conv2dGeometry geom_;
+
+  // Per-batch caches for backward.
+  Tensor x_cache_;       // input (im2col recomputed in backward to save RAM)
+  Tensor preact_cache_;  // conv output + bias, pre-masking (Eq. 2 harvest)
+};
+
+}  // namespace stepping

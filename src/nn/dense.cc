@@ -1,0 +1,110 @@
+#include "nn/dense.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace stepping {
+
+Dense::Dense(std::string name, int out_features)
+    : name_(std::move(name)), out_features_(out_features) {
+  if (out_features <= 0) throw std::invalid_argument("Dense: bad out_features");
+}
+
+IOSpec Dense::wire(const IOSpec& in, Rng& rng) {
+  if (!in.flat) {
+    throw std::invalid_argument(name_ + ": Dense needs flat input (add Flatten)");
+  }
+  const int in_features = in.total_features();
+  init_structure(out_features_, in_features, in.features_per_unit,
+                 /*macs_per_weight=*/1, in.assignment, rng, in_features);
+  IOSpec out;
+  out.units = out_features_;
+  out.features_per_unit = 1;
+  out.flat = true;
+  out.assignment = out_assign_;
+  return out;
+}
+
+Tensor Dense::forward(const Tensor& x, const SubnetContext& ctx) {
+  assert(x.rank() == 2 && x.dim(1) == cols_);
+  const int n = x.dim(0);
+  const Tensor& w = effective_weights();
+  const auto& active = active_flags(ctx.subnet_id);
+
+  Tensor y({n, units_});  // zero-filled; inactive units stay zero
+  gemm_nt_cols(x, w, y, active.data());  // y (N x U) = x (N x F) * w^T
+  const float* b = bias_.value.data();
+  float* py = y.data();
+  for (int i = 0; i < n; ++i) {
+    for (int u = 0; u < units_; ++u) {
+      if (active[static_cast<std::size_t>(u)]) {
+        py[static_cast<std::int64_t>(i) * units_ + u] += b[u];
+      }
+    }
+  }
+
+  if (ctx.training) {
+    x_cache_ = x;
+    preact_cache_ = y;
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_y_in, const SubnetContext& ctx) {
+  Tensor grad_y = grad_y_in;
+  if (!is_head_) mask_inactive_units(grad_y, *out_assign_, 1, ctx.subnet_id);
+
+  if (ctx.harvest_importance) {
+    harvest_importance(grad_y, preact_cache_, ctx, /*per_unit=*/1);
+  }
+
+  if (weight_.grad.shape() != weight_.value.shape()) weight_.zero_grad();
+  if (bias_.grad.shape() != bias_.value.shape()) bias_.zero_grad();
+
+  const int n = grad_y.dim(0);
+  // dW (U x F) += grad^T (U x N) * x (N x F)
+  gemm_tn(grad_y, x_cache_, weight_.grad, /*accumulate=*/true);
+  // db += column sums of grad
+  float* db = bias_.grad.data();
+  const float* g = grad_y.data();
+  for (int i = 0; i < n; ++i) {
+    for (int u = 0; u < units_; ++u) db[u] += g[static_cast<std::int64_t>(i) * units_ + u];
+  }
+  // dx (N x F) = grad (N x U) * w (U x F)
+  const Tensor& w = effective_weights();
+  Tensor grad_x({n, cols_});
+  gemm(grad_y, w, grad_x);
+  return grad_x;
+}
+
+Tensor Dense::forward_step(const Tensor& x, const Tensor& cached_y,
+                           int from_subnet, const SubnetContext& ctx) {
+  assert(!ctx.training);
+  if (cached_y.empty()) return forward(x, ctx);
+  const int n = x.dim(0);
+  const Tensor& w = effective_weights();
+  Tensor y = cached_y;
+  const float* b = bias_.value.data();
+  for (int i = 0; i < n; ++i) {
+    const float* xrow = x.data() + static_cast<std::int64_t>(i) * cols_;
+    float* yrow = y.data() + static_cast<std::int64_t>(i) * units_;
+    for (int u = 0; u < units_; ++u) {
+      const int sv = is_head_ ? ctx.subnet_id
+                              : (*out_assign_)[static_cast<std::size_t>(u)];
+      const bool is_new = is_head_ || (sv > from_subnet && sv <= ctx.subnet_id);
+      if (!is_new) continue;
+      const float* wrow = w.data() + static_cast<std::int64_t>(u) * cols_;
+      // Bias added after the dot product, matching forward's GEMM order so
+      // step-up results are bit-identical to a from-scratch evaluation.
+      float acc = 0.0f;
+      for (int c = 0; c < cols_; ++c) acc += wrow[c] * xrow[c];
+      yrow[u] = acc + b[u];
+    }
+  }
+  if (!is_head_) mask_inactive_units(y, *out_assign_, 1, ctx.subnet_id);
+  return y;
+}
+
+}  // namespace stepping

@@ -1,0 +1,35 @@
+// Subnet-aware fully-connected layer.
+//
+// Consumes a flat IOSpec (insert Flatten after convolutions). Weight columns
+// are grouped per input unit (`features_per_unit` consecutive columns map to
+// one producer unit) so the structural rule applies at unit granularity even
+// after flattening an HxW plane.
+#pragma once
+
+#include "nn/masked_layer.h"
+
+namespace stepping {
+
+class Dense final : public MaskedLayer {
+ public:
+  Dense(std::string name, int out_features);
+
+  std::string name() const override { return name_; }
+  IOSpec wire(const IOSpec& in, Rng& rng) override;
+  Tensor forward(const Tensor& x, const SubnetContext& ctx) override;
+  Tensor backward(const Tensor& grad_y, const SubnetContext& ctx) override;
+  Tensor forward_step(const Tensor& x, const Tensor& cached_y, int from_subnet,
+                      const SubnetContext& ctx) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dense>(*this);
+  }
+
+ private:
+  std::string name_;
+  int out_features_;
+
+  Tensor x_cache_;
+  Tensor preact_cache_;
+};
+
+}  // namespace stepping

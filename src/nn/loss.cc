@@ -1,0 +1,88 @@
+#include "nn/loss.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace stepping {
+
+namespace {
+
+constexpr double kProbFloor = 1e-12;
+
+int argmax_row(const float* row, int c) {
+  int best = 0;
+  for (int j = 1; j < c; ++j) {
+    if (row[j] > row[best]) best = j;
+  }
+  return best;
+}
+
+}  // namespace
+
+LossOutput softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  assert(logits.rank() == 2);
+  const int n = logits.dim(0), c = logits.dim(1);
+  assert(static_cast<int>(labels.size()) == n);
+
+  LossOutput out;
+  Tensor probs;
+  softmax_rows(logits, probs);
+  out.grad_logits = probs;  // start from p, subtract onehot below
+  const float inv_n = 1.0f / static_cast<float>(n);
+  float* g = out.grad_logits.data();
+  const float* p = probs.data();
+  for (int i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    assert(y >= 0 && y < c);
+    const std::int64_t base = static_cast<std::int64_t>(i) * c;
+    out.loss -= std::log(std::max(static_cast<double>(p[base + y]), kProbFloor));
+    g[base + y] -= 1.0f;
+    for (int j = 0; j < c; ++j) g[base + j] *= inv_n;
+    if (argmax_row(p + base, c) == y) ++out.correct;
+  }
+  out.loss /= n;
+  return out;
+}
+
+LossOutput distillation_loss(const Tensor& logits,
+                             const std::vector<int>& labels,
+                             const Tensor& teacher_probs, double gamma) {
+  assert(logits.rank() == 2 && teacher_probs.shape() == logits.shape());
+  const int n = logits.dim(0), c = logits.dim(1);
+  assert(static_cast<int>(labels.size()) == n);
+
+  LossOutput out;
+  Tensor probs;
+  softmax_rows(logits, probs);
+  out.grad_logits = Tensor(logits.shape());
+
+  const float inv_n = 1.0f / static_cast<float>(n);
+  const float fg = static_cast<float>(gamma);
+  float* g = out.grad_logits.data();
+  const float* p = probs.data();
+  const float* pt = teacher_probs.data();
+  double ce = 0.0, kl = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    assert(y >= 0 && y < c);
+    const std::int64_t base = static_cast<std::int64_t>(i) * c;
+    ce -= std::log(std::max(static_cast<double>(p[base + y]), kProbFloor));
+    for (int j = 0; j < c; ++j) {
+      const double ps = std::max(static_cast<double>(p[base + j]), kProbFloor);
+      const double pte = static_cast<double>(pt[base + j]);
+      if (pte > 0.0) kl += pte * std::log(pte / ps);
+      const float onehot = (j == y) ? 1.0f : 0.0f;
+      g[base + j] = (fg * (p[base + j] - onehot) +
+                     (1.0f - fg) * (p[base + j] - pt[base + j])) *
+                    inv_n;
+    }
+    if (argmax_row(p + base, c) == y) ++out.correct;
+  }
+  out.loss = gamma * (ce / n) + (1.0 - gamma) * (kl / n);
+  return out;
+}
+
+}  // namespace stepping

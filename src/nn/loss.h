@@ -1,0 +1,28 @@
+// Loss functions: softmax cross-entropy and the knowledge-distillation loss
+// of paper Eq. 4.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stepping {
+
+struct LossOutput {
+  double loss = 0.0;       ///< mean loss over the batch
+  Tensor grad_logits;      ///< dL/d(logits), already divided by batch size
+  int correct = 0;         ///< top-1 hits in the batch
+};
+
+/// Mean softmax cross-entropy; grad = (softmax(logits) - onehot) / N.
+LossOutput softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+/// Paper Eq. 4: L' = gamma * CE + (1 - gamma) * KL(teacher || student).
+/// `teacher_probs` are the frozen original network's softmax outputs for the
+/// same batch. grad = [gamma*(p - onehot) + (1-gamma)*(p - p_teacher)] / N.
+LossOutput distillation_loss(const Tensor& logits,
+                             const std::vector<int>& labels,
+                             const Tensor& teacher_probs, double gamma);
+
+}  // namespace stepping

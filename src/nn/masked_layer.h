@@ -1,0 +1,182 @@
+// Base class for layers whose output units carry subnet assignments
+// (Conv2d filters, Dense neurons) — the substrate of SteppingNet's subnet
+// masking engine.
+//
+// Weight layout: a 2-D (units x cols) matrix, unit-major. For Conv2d,
+// cols = in_units * kernel^2 grouped per input unit; for Dense,
+// cols = in_features grouped per input unit by features_per_unit.
+//
+// Three masks compose into the effective weights used by forward:
+//  * structural mask  — synapse u->v active iff s(u) <= s(v) (head layers
+//    are exempt: the classifier is recomputed for every subnet);
+//  * prune mask       — unstructured magnitude pruning, non-permanent: the
+//    underlying weight keeps receiving gradient updates and revives when its
+//    unit moves (paper §III-A1);
+//  * subnet selection — units with s(v) > subnet_id are zeroed post-forward
+//    (their weights stay in the effective buffer; zeroing the output row is
+//    equivalent and cheaper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/param.h"
+
+namespace stepping {
+
+class MaskedLayer : public Layer {
+ public:
+  MaskedLayer();
+  MaskedLayer(const MaskedLayer& other);           // deep-copies assignment
+  MaskedLayer& operator=(const MaskedLayer&) = delete;
+
+  // ---- structure ---------------------------------------------------------
+  int num_units() const { return units_; }
+  int num_cols() const { return cols_; }
+
+  const Assignment& unit_subnet() const { return *out_assign_; }
+  AssignmentPtr unit_subnet_ptr() { return out_assign_; }
+  const Assignment& in_subnet() const { return *in_assign_; }
+
+  /// Move a unit to another subnet (construction only). Marks the effective
+  /// weights dirty; synapse revival is handled by the caller (core::Mover).
+  void set_unit_subnet(int unit, int subnet);
+
+  /// Subnet id of the input unit feeding weight column `col`.
+  int in_unit_of_col(int col) const { return col / col_group_; }
+
+  /// Input unit feeding weight (unit, col). Fully-connected layers ignore
+  /// `unit` (column group determines the producer); depthwise layers
+  /// override — their unit u reads only input unit u.
+  virtual int in_unit_of(int unit, int col) const {
+    (void)unit;
+    return in_unit_of_col(col);
+  }
+
+  /// Number of consecutive weight columns per input unit.
+  int col_group() const { return col_group_; }
+
+  /// Head layers (the final classifier) are exempt from the structural rule
+  /// and recomputed for every subnet.
+  bool is_head() const { return is_head_; }
+  void set_head(bool head) {
+    is_head_ = head;
+    weights_dirty_ = true;
+  }
+
+  /// True iff weight (unit, col) is allowed by the structural rule.
+  bool structurally_active(int unit, int col) const;
+
+  // ---- pruning -----------------------------------------------------------
+  const std::vector<std::uint8_t>& prune_mask() const { return prune_mask_; }
+  /// Re-derive the prune mask from weight magnitudes: keep |w| >= threshold.
+  /// Masks are non-permanent (recomputed each construction iteration).
+  void apply_magnitude_prune(float threshold);
+  /// Clear pruning for one unit's incoming synapses (revival on move).
+  void revive_unit_row(int unit);
+  /// Clear pruning for the columns fed by input unit `in_unit` (revival of a
+  /// moved producer's outgoing synapses).
+  virtual void revive_in_unit_cols(int in_unit);
+
+  /// Whether the mover may reassign this layer's units. Depthwise layers
+  /// return false: their units mirror their producer's assignment (shared
+  /// storage) and move implicitly with it.
+  virtual bool units_movable() const { return true; }
+  void clear_prune_mask();
+  /// Replace the whole prune mask (deserialization). Size must match.
+  void set_prune_mask(const std::vector<std::uint8_t>& mask);
+
+  // ---- MAC accounting ----------------------------------------------------
+  /// MAC operations contributed by one active weight (conv: out_h*out_w).
+  std::int64_t macs_per_weight() const { return macs_per_weight_; }
+  /// Active (structural && unpruned) weights of this layer in subnet `id`.
+  std::int64_t active_weights(int subnet_id) const;
+  /// MACs of this layer in subnet `id`.
+  std::int64_t subnet_macs(int subnet_id) const {
+    return active_weights(subnet_id) * macs_per_weight();
+  }
+  /// MACs with every weight active (the unpruned full network).
+  std::int64_t full_macs() const {
+    return static_cast<std::int64_t>(units_) * cols_ * macs_per_weight();
+  }
+  /// MACs that leave subnet `s(unit)` if `unit` moves up by one: its active
+  /// incoming weights plus its outgoing weights into units of subnets
+  /// <= s(unit) in `consumer` (nullptr if this is the last masked layer).
+  std::int64_t move_delta_macs(int unit, const MaskedLayer* consumer) const;
+
+  // ---- importance (paper Eq. 2/3) ----------------------------------------
+  /// Reset accumulators for `num_subnets` cost functions.
+  void reset_importance(int num_subnets);
+  /// Accumulated |dL_k/dr_j|; index [k-1][unit].
+  const std::vector<std::vector<double>>& importance() const { return imp_acc_; }
+
+  // ---- LR suppression (paper beta^(k-o)) ----------------------------------
+  /// Precompute per-element LR scales for training each subnet k in
+  /// 1..num_subnets. Owner of a weight: s(out unit) for body layers,
+  /// s(in unit) for the head. Call after each structural change.
+  void prepare_lr_suppression(int num_subnets, double beta) override;
+  /// Point the params' elem_lr_scale at the buffer for subnet k (0 disables).
+  void activate_lr_scale(int k) override;
+
+  // ---- params ------------------------------------------------------------
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  Param& bias() { return bias_; }
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+ protected:
+  /// Called by subclasses from wire(): sizes all masks/accumulators.
+  /// `col_group` = columns per input unit; `macs_per_weight` as defined above.
+  void init_structure(int units, int cols, int col_group,
+                      std::int64_t macs_per_weight, AssignmentPtr in_assign,
+                      Rng& rng, int fan_in);
+
+  /// Effective weights (value * structural mask * prune mask); refreshed
+  /// lazily. Subclasses use this in forward.
+  const Tensor& effective_weights();
+
+  /// Per-unit activity flags for the executing subnet (1 = compute this
+  /// unit). Heads are always fully active. Returns a scratch buffer valid
+  /// until the next call.
+  const std::vector<std::uint8_t>& active_flags(int subnet_id);
+  void mark_weights_dirty() { weights_dirty_ = true; }
+
+  /// Zero grad rows of inactive units, mirroring forward's output masking.
+  /// `rows_are_units`: grad laid out (units x anything) after reshape.
+  void mask_inactive_grad_rows(Tensor& grad, int per_unit,
+                               const SubnetContext& ctx) const;
+
+  /// Harvest dL/dr for all active units: imp[ctx.subnet][j] +=
+  /// |sum(grad_preact_j * (preact_j - bias_j))| (paper Eq. 2).
+  /// `per_unit` = scalars per unit in the two tensors (spatial size or 1),
+  /// laid out (batch, units, per_unit).
+  void harvest_importance(const Tensor& grad_preact, const Tensor& preact,
+                          const SubnetContext& ctx, int per_unit);
+
+  int units_ = 0;
+  int cols_ = 0;
+  int col_group_ = 1;
+  std::int64_t macs_per_weight_ = 1;
+  bool is_head_ = false;
+
+  Param weight_;
+  Param bias_;
+
+  AssignmentPtr out_assign_;
+  AssignmentPtr in_assign_;
+
+  std::vector<std::uint8_t> prune_mask_;  // 1 = keep
+  Tensor w_eff_;
+  bool weights_dirty_ = true;
+  std::vector<std::uint8_t> active_flags_;  // scratch for active_flags()
+
+  std::vector<std::vector<double>> imp_acc_;
+
+  // lr_scale_[k-1] has units_*cols_ entries for the weight; bias uses
+  // bias_lr_scale_[k-1] with units_ entries.
+  std::vector<std::vector<float>> lr_scale_;
+  std::vector<std::vector<float>> bias_lr_scale_;
+};
+
+}  // namespace stepping

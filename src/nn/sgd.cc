@@ -1,0 +1,40 @@
+#include "nn/sgd.h"
+
+#include <cassert>
+
+namespace stepping {
+
+void Sgd::step(const std::vector<Param*>& params, double lr_mult) {
+  const float lr = static_cast<float>(cfg_.lr * lr_mult);
+  const float mu = static_cast<float>(cfg_.momentum);
+  for (Param* p : params) {
+    if (p->grad.shape() != p->value.shape()) continue;  // never touched
+    Tensor& v = velocity_[p];
+    if (v.shape() != p->value.shape()) v = Tensor(p->value.shape());
+    const float wd =
+        p->apply_decay ? static_cast<float>(cfg_.weight_decay) : 0.0f;
+    float* pv = v.data();
+    float* pw = p->value.data();
+    const float* pg = p->grad.data();
+    const std::int64_t n = p->value.numel();
+    if (p->elem_lr_scale != nullptr) {
+      assert(static_cast<std::int64_t>(p->elem_lr_scale->size()) == n);
+      const float* scale = p->elem_lr_scale->data();
+      for (std::int64_t i = 0; i < n; ++i) {
+        pv[i] = mu * pv[i] + pg[i] + wd * pw[i];
+        pw[i] -= lr * scale[i] * pv[i];
+      }
+    } else {
+      for (std::int64_t i = 0; i < n; ++i) {
+        pv[i] = mu * pv[i] + pg[i] + wd * pw[i];
+        pw[i] -= lr * pv[i];
+      }
+    }
+  }
+}
+
+void Sgd::zero_grads(const std::vector<Param*>& params) {
+  for (Param* p : params) p->zero_grad();
+}
+
+}  // namespace stepping

@@ -1,0 +1,38 @@
+// SGD with momentum, weight decay, and per-element learning-rate scaling
+// (the hook used by SteppingNet's beta^(k-o) update suppression).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/param.h"
+
+namespace stepping {
+
+struct SgdConfig {
+  double lr = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig cfg) : cfg_(cfg) {}
+
+  /// v = momentum*v + (g + wd*w); w -= lr * scale * v.
+  /// `lr_mult` scales the base learning rate (schedules).
+  void step(const std::vector<Param*>& params, double lr_mult = 1.0);
+
+  void zero_grads(const std::vector<Param*>& params);
+
+  /// Drop momentum buffers (e.g. between construction and retraining).
+  void clear_state() { velocity_.clear(); }
+
+  SgdConfig& config() { return cfg_; }
+
+ private:
+  SgdConfig cfg_;
+  std::unordered_map<Param*, Tensor> velocity_;
+};
+
+}  // namespace stepping

@@ -1,0 +1,97 @@
+#include "nn/simple_layers.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace stepping {
+
+// ---------------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------------
+
+IOSpec ReLU::wire(const IOSpec& in, Rng& rng) {
+  (void)rng;
+  return in;
+}
+
+Tensor ReLU::forward(const Tensor& x, const SubnetContext& ctx) {
+  Tensor y;
+  if (ctx.training) {
+    relu_forward(x, y, mask_);
+  } else {
+    std::vector<unsigned char> scratch;
+    relu_forward(x, y, scratch);
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_y, const SubnetContext& ctx) {
+  (void)ctx;
+  Tensor grad_x;
+  relu_backward(grad_y, mask_, grad_x);
+  return grad_x;
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool2d
+// ---------------------------------------------------------------------------
+
+IOSpec MaxPool2d::wire(const IOSpec& in, Rng& rng) {
+  (void)rng;
+  if (in.flat) throw std::invalid_argument(name_ + ": MaxPool2d needs NCHW");
+  if (in.h % k_ != 0 || in.w % k_ != 0) {
+    throw std::invalid_argument(name_ + ": extent not divisible by pool size");
+  }
+  IOSpec out = in;
+  out.h = in.h / k_;
+  out.w = in.w / k_;
+  return out;
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, const SubnetContext& ctx) {
+  (void)ctx;
+  in_shape_ = x.shape();
+  Tensor y;
+  maxpool_forward(x, k_, y, argmax_);
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_y, const SubnetContext& ctx) {
+  (void)ctx;
+  Tensor grad_x(in_shape_);
+  maxpool_backward(grad_y, argmax_, grad_x);
+  return grad_x;
+}
+
+// ---------------------------------------------------------------------------
+// Flatten
+// ---------------------------------------------------------------------------
+
+IOSpec Flatten::wire(const IOSpec& in, Rng& rng) {
+  (void)rng;
+  if (in.flat) throw std::invalid_argument(name_ + ": input already flat");
+  IOSpec out;
+  out.units = in.units;
+  out.features_per_unit = in.h * in.w;
+  out.flat = true;
+  out.assignment = in.assignment;
+  return out;
+}
+
+Tensor Flatten::forward(const Tensor& x, const SubnetContext& ctx) {
+  (void)ctx;
+  assert(x.rank() == 4);
+  in_shape_ = x.shape();
+  const int n = x.dim(0);
+  const int f = static_cast<int>(x.numel() / n);
+  return x.reshaped({n, f});
+}
+
+Tensor Flatten::backward(const Tensor& grad_y, const SubnetContext& ctx) {
+  (void)ctx;
+  return grad_y.reshaped(in_shape_);
+}
+
+}  // namespace stepping

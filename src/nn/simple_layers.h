@@ -1,0 +1,65 @@
+// Parameterless layers: ReLU, MaxPool2d, Flatten.
+//
+// None of these mix channels, so they preserve the subnet reuse invariant
+// untouched: an inactive (zeroed) channel stays zero through ReLU and
+// MaxPool, and Flatten only reinterprets the feature axis, forwarding the
+// producer's assignment at `features_per_unit = H*W` granularity.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace stepping {
+
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::string name) : name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  IOSpec wire(const IOSpec& in, Rng& rng) override;
+  Tensor forward(const Tensor& x, const SubnetContext& ctx) override;
+  Tensor backward(const Tensor& grad_y, const SubnetContext& ctx) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>(*this);
+  }
+
+ private:
+  std::string name_;
+  std::vector<unsigned char> mask_;
+};
+
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::string name, int k) : name_(std::move(name)), k_(k) {}
+  std::string name() const override { return name_; }
+  IOSpec wire(const IOSpec& in, Rng& rng) override;
+  Tensor forward(const Tensor& x, const SubnetContext& ctx) override;
+  Tensor backward(const Tensor& grad_y, const SubnetContext& ctx) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2d>(*this);
+  }
+
+ private:
+  std::string name_;
+  int k_;
+  std::vector<int> argmax_;
+  std::vector<int> in_shape_;
+};
+
+class Flatten final : public Layer {
+ public:
+  explicit Flatten(std::string name) : name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  IOSpec wire(const IOSpec& in, Rng& rng) override;
+  Tensor forward(const Tensor& x, const SubnetContext& ctx) override;
+  Tensor backward(const Tensor& grad_y, const SubnetContext& ctx) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>(*this);
+  }
+
+ private:
+  std::string name_;
+  std::vector<int> in_shape_;
+};
+
+}  // namespace stepping

@@ -1,0 +1,62 @@
+#include "nn/trainer.h"
+
+#include "tensor/ops.h"
+
+namespace stepping {
+
+BatchStats train_batch(Network& net, Sgd& sgd, const Tensor& x,
+                       const std::vector<int>& labels, const SubnetContext& ctx,
+                       double lr_mult) {
+  const auto params = net.params();
+  sgd.zero_grads(params);
+  const Tensor logits = net.forward(x, ctx);
+  LossOutput lo = softmax_cross_entropy(logits, labels);
+  net.backward(lo.grad_logits, ctx);
+  sgd.step(params, lr_mult);
+  return BatchStats{lo.loss, lo.correct, static_cast<int>(labels.size())};
+}
+
+BatchStats distill_batch(Network& net, Sgd& sgd, const Tensor& x,
+                         const std::vector<int>& labels,
+                         const Tensor& teacher_probs, double gamma,
+                         const SubnetContext& ctx, double lr_mult) {
+  const auto params = net.params();
+  sgd.zero_grads(params);
+  const Tensor logits = net.forward(x, ctx);
+  LossOutput lo = distillation_loss(logits, labels, teacher_probs, gamma);
+  net.backward(lo.grad_logits, ctx);
+  sgd.step(params, lr_mult);
+  return BatchStats{lo.loss, lo.correct, static_cast<int>(labels.size())};
+}
+
+int eval_batch(Network& net, const Tensor& x, const std::vector<int>& labels,
+               int subnet_id) {
+  SubnetContext ctx;
+  ctx.subnet_id = subnet_id;
+  ctx.training = false;
+  const Tensor logits = net.forward(x, ctx);
+  const int n = logits.dim(0), c = logits.dim(1);
+  int correct = 0;
+  const float* p = logits.data();
+  for (int i = 0; i < n; ++i) {
+    const float* row = p + static_cast<std::int64_t>(i) * c;
+    int best = 0;
+    for (int j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return correct;
+}
+
+Tensor predict_probs(Network& net, const Tensor& x, int subnet_id) {
+  SubnetContext ctx;
+  ctx.subnet_id = subnet_id;
+  ctx.training = false;
+  const Tensor logits = net.forward(x, ctx);
+  Tensor probs;
+  softmax_rows(logits, probs);
+  return probs;
+}
+
+}  // namespace stepping

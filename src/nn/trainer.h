@@ -1,0 +1,40 @@
+// Batch-level training helpers shared by the pretrainer, the construction
+// workflow, the distiller, and the baselines.
+#pragma once
+
+#include <vector>
+
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/sgd.h"
+
+namespace stepping {
+
+struct BatchStats {
+  double loss = 0.0;
+  int correct = 0;
+  int total = 0;
+
+  double accuracy() const { return total > 0 ? static_cast<double>(correct) / total : 0.0; }
+};
+
+/// One SGD step on one batch for one subnet: forward, CE loss, backward,
+/// step. Gradients are zeroed internally.
+BatchStats train_batch(Network& net, Sgd& sgd, const Tensor& x,
+                       const std::vector<int>& labels, const SubnetContext& ctx,
+                       double lr_mult = 1.0);
+
+/// Like train_batch but with the Eq. 4 distillation loss.
+BatchStats distill_batch(Network& net, Sgd& sgd, const Tensor& x,
+                         const std::vector<int>& labels,
+                         const Tensor& teacher_probs, double gamma,
+                         const SubnetContext& ctx, double lr_mult = 1.0);
+
+/// Inference on one batch; returns top-1 hits.
+int eval_batch(Network& net, const Tensor& x, const std::vector<int>& labels,
+               int subnet_id);
+
+/// Softmax probabilities for a batch (inference mode), e.g. teacher targets.
+Tensor predict_probs(Network& net, const Tensor& x, int subnet_id);
+
+}  // namespace stepping

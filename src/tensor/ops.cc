@@ -1,0 +1,393 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace stepping {
+
+// ---------------------------------------------------------------------------
+// GEMM. A simple ikj-ordered kernel: streams B rows, accumulates into C rows,
+// vectorizes well under -O2 without external BLAS.
+// ---------------------------------------------------------------------------
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  if (!accumulate) c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<std::size_t>(i) * k;
+    float* crow = pc + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;  // masked weights are exactly zero
+      const float* brow = pb + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_tn(const Tensor& at, const Tensor& b, Tensor& c, bool accumulate) {
+  // C(MxN) = At^T * B, At is (K x M), B is (K x N).
+  assert(at.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const int k = at.dim(0), m = at.dim(1), n = b.dim(1);
+  assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  if (!accumulate) c.zero();
+  const float* pat = at.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int p = 0; p < k; ++p) {
+    const float* atrow = pat + static_cast<std::size_t>(p) * m;
+    const float* brow = pb + static_cast<std::size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = atrow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const Tensor& a, const Tensor& bt, Tensor& c, bool accumulate) {
+  // C(MxN) = A(MxK) * Bt^T, Bt is (N x K).
+  assert(a.rank() == 2 && bt.rank() == 2 && c.rank() == 2);
+  const int m = a.dim(0), k = a.dim(1), n = bt.dim(0);
+  assert(bt.dim(1) == k && c.dim(0) == m && c.dim(1) == n);
+  if (!accumulate) c.zero();
+  const float* pa = a.data();
+  const float* pbt = bt.data();
+  float* pc = c.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<std::size_t>(i) * k;
+    float* crow = pc + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* btrow = pbt + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+void gemm_rows(const Tensor& a, const Tensor& b, Tensor& c,
+               const unsigned char* row_active) {
+  assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int i = 0; i < m; ++i) {
+    if (!row_active[i]) continue;
+    const float* arow = pa + static_cast<std::size_t>(i) * k;
+    float* crow = pc + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt_cols(const Tensor& a, const Tensor& bt, Tensor& c,
+                  const unsigned char* col_active) {
+  assert(a.rank() == 2 && bt.rank() == 2 && c.rank() == 2);
+  const int m = a.dim(0), k = a.dim(1), n = bt.dim(0);
+  assert(bt.dim(1) == k && c.dim(0) == m && c.dim(1) == n);
+  const float* pa = a.data();
+  const float* pbt = bt.data();
+  float* pc = c.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<std::size_t>(i) * k;
+    float* crow = pc + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      if (!col_active[j]) continue;
+      const float* btrow = pbt + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+void gemm_nt_rows_acc(const Tensor& a, const Tensor& bt, Tensor& c,
+                      const unsigned char* row_active) {
+  assert(a.rank() == 2 && bt.rank() == 2 && c.rank() == 2);
+  const int m = a.dim(0), k = a.dim(1), n = bt.dim(0);
+  assert(bt.dim(1) == k && c.dim(0) == m && c.dim(1) == n);
+  const float* pa = a.data();
+  const float* pbt = bt.data();
+  float* pc = c.data();
+  for (int i = 0; i < m; ++i) {
+    if (!row_active[i]) continue;
+    const float* arow = pa + static_cast<std::size_t>(i) * k;
+    float* crow = pc + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* btrow = pbt + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+void gemm_tn_rows(const Tensor& at, const Tensor& b, Tensor& c,
+                  const unsigned char* k_active) {
+  assert(at.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const int k = at.dim(0), m = at.dim(1), n = b.dim(1);
+  assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  c.zero();
+  const float* pat = at.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int p = 0; p < k; ++p) {
+    if (!k_active[p]) continue;
+    const float* atrow = pat + static_cast<std::size_t>(p) * m;
+    const float* brow = pb + static_cast<std::size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = atrow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// im2col / col2im
+// ---------------------------------------------------------------------------
+
+void im2col(const float* x, const Conv2dGeometry& g, float* cols) {
+  const int oh = g.out_h(), ow = g.out_w();
+  const int spatial = oh * ow;
+  // cols is (patch, spatial) row-major: row index = (c*k + kh)*k + kw.
+  for (int c = 0; c < g.in_c; ++c) {
+    const float* xc = x + static_cast<std::size_t>(c) * g.in_h * g.in_w;
+    for (int kh = 0; kh < g.kernel; ++kh) {
+      for (int kw = 0; kw < g.kernel; ++kw) {
+        float* crow = cols + (static_cast<std::size_t>(c) * g.kernel * g.kernel +
+                              static_cast<std::size_t>(kh) * g.kernel + kw) *
+                                 spatial;
+        for (int y = 0; y < oh; ++y) {
+          const int iy = y * g.stride + kh - g.pad;
+          if (iy < 0 || iy >= g.in_h) {
+            std::memset(crow + static_cast<std::size_t>(y) * ow, 0,
+                        sizeof(float) * static_cast<std::size_t>(ow));
+            continue;
+          }
+          const float* xrow = xc + static_cast<std::size_t>(iy) * g.in_w;
+          float* orow = crow + static_cast<std::size_t>(y) * ow;
+          for (int xo = 0; xo < ow; ++xo) {
+            const int ix = xo * g.stride + kw - g.pad;
+            orow[xo] = (ix >= 0 && ix < g.in_w) ? xrow[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, const Conv2dGeometry& g, float* x) {
+  const int oh = g.out_h(), ow = g.out_w();
+  const int spatial = oh * ow;
+  std::memset(x, 0,
+              sizeof(float) * static_cast<std::size_t>(g.in_c) * g.in_h * g.in_w);
+  for (int c = 0; c < g.in_c; ++c) {
+    float* xc = x + static_cast<std::size_t>(c) * g.in_h * g.in_w;
+    for (int kh = 0; kh < g.kernel; ++kh) {
+      for (int kw = 0; kw < g.kernel; ++kw) {
+        const float* crow =
+            cols + (static_cast<std::size_t>(c) * g.kernel * g.kernel +
+                    static_cast<std::size_t>(kh) * g.kernel + kw) *
+                       spatial;
+        for (int y = 0; y < oh; ++y) {
+          const int iy = y * g.stride + kh - g.pad;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* xrow = xc + static_cast<std::size_t>(iy) * g.in_w;
+          const float* orow = crow + static_cast<std::size_t>(y) * ow;
+          for (int xo = 0; xo < ow; ++xo) {
+            const int ix = xo * g.stride + kw - g.pad;
+            if (ix >= 0 && ix < g.in_w) xrow[ix] += orow[xo];
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pooling
+// ---------------------------------------------------------------------------
+
+void maxpool_forward(const Tensor& x, int k, Tensor& y, std::vector<int>& argmax) {
+  assert(x.rank() == 4);
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = h / k, ow = w / k;
+  assert(oh > 0 && ow > 0);
+  y = Tensor({n, c, oh, ow});
+  argmax.assign(static_cast<std::size_t>(y.numel()), 0);
+  const float* px = x.data();
+  float* py = y.data();
+  std::int64_t oi = 0;
+  for (int in = 0; in < n; ++in) {
+    for (int ic = 0; ic < c; ++ic) {
+      const float* plane =
+          px + (static_cast<std::size_t>(in) * c + ic) * h * w;
+      for (int yy = 0; yy < oh; ++yy) {
+        for (int xx = 0; xx < ow; ++xx) {
+          float best = -std::numeric_limits<float>::infinity();
+          int best_idx = 0;
+          for (int dy = 0; dy < k; ++dy) {
+            for (int dx = 0; dx < k; ++dx) {
+              const int iy = yy * k + dy, ix = xx * k + dx;
+              const int idx = iy * w + ix;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          py[oi] = best;
+          argmax[static_cast<std::size_t>(oi)] =
+              static_cast<int>((static_cast<std::size_t>(in) * c + ic) * h * w) +
+              best_idx;
+          ++oi;
+        }
+      }
+    }
+  }
+}
+
+void maxpool_backward(const Tensor& grad_y, const std::vector<int>& argmax,
+                      Tensor& grad_x) {
+  grad_x.zero();
+  float* gx = grad_x.data();
+  const float* gy = grad_y.data();
+  for (std::int64_t i = 0; i < grad_y.numel(); ++i) {
+    gx[argmax[static_cast<std::size_t>(i)]] += gy[i];
+  }
+}
+
+void global_avgpool_forward(const Tensor& x, Tensor& y) {
+  assert(x.rank() == 4);
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  y = Tensor({n, c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  const float* px = x.data();
+  float* py = y.data();
+  for (int in = 0; in < n; ++in) {
+    for (int ic = 0; ic < c; ++ic) {
+      const float* plane = px + (static_cast<std::size_t>(in) * c + ic) * h * w;
+      float s = 0.0f;
+      for (int i = 0; i < h * w; ++i) s += plane[i];
+      py[static_cast<std::size_t>(in) * c + ic] = s * inv;
+    }
+  }
+}
+
+void global_avgpool_backward(const Tensor& grad_y, int h, int w, Tensor& grad_x) {
+  assert(grad_y.rank() == 2 && grad_x.rank() == 4);
+  const int n = grad_y.dim(0), c = grad_y.dim(1);
+  const float inv = 1.0f / static_cast<float>(h * w);
+  const float* gy = grad_y.data();
+  float* gx = grad_x.data();
+  for (int in = 0; in < n; ++in) {
+    for (int ic = 0; ic < c; ++ic) {
+      const float g = gy[static_cast<std::size_t>(in) * c + ic] * inv;
+      float* plane = gx + (static_cast<std::size_t>(in) * c + ic) * h * w;
+      for (int i = 0; i < h * w; ++i) plane[i] = g;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Softmax / elementwise
+// ---------------------------------------------------------------------------
+
+void softmax_rows(const Tensor& logits, Tensor& probs) {
+  assert(logits.rank() == 2);
+  const int n = logits.dim(0), c = logits.dim(1);
+  if (probs.shape() != logits.shape()) probs = Tensor(logits.shape());
+  const float* pl = logits.data();
+  float* pp = probs.data();
+  for (int i = 0; i < n; ++i) {
+    const float* row = pl + static_cast<std::size_t>(i) * c;
+    float* out = pp + static_cast<std::size_t>(i) * c;
+    float mx = row[0];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int j = 0; j < c; ++j) {
+      out[j] = std::exp(row[j] - mx);
+      denom += out[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int j = 0; j < c; ++j) out[j] *= inv;
+  }
+}
+
+void relu_forward(const Tensor& x, Tensor& y, std::vector<unsigned char>& mask) {
+  if (y.shape() != x.shape()) y = Tensor(x.shape());
+  mask.assign(static_cast<std::size_t>(x.numel()), 0);
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const bool pos = px[i] > 0.0f;
+    mask[static_cast<std::size_t>(i)] = pos ? 1 : 0;
+    py[i] = pos ? px[i] : 0.0f;
+  }
+}
+
+void relu_backward(const Tensor& grad_y, const std::vector<unsigned char>& mask,
+                   Tensor& grad_x) {
+  if (grad_x.shape() != grad_y.shape()) grad_x = Tensor(grad_y.shape());
+  const float* gy = grad_y.data();
+  float* gx = grad_x.data();
+  for (std::int64_t i = 0; i < grad_y.numel(); ++i) {
+    gx[i] = mask[static_cast<std::size_t>(i)] ? gy[i] : 0.0f;
+  }
+}
+
+void add_inplace(Tensor& y, const Tensor& x) {
+  assert(y.shape() == x.shape());
+  float* py = y.data();
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < y.numel(); ++i) py[i] += px[i];
+}
+
+void scale_inplace(Tensor& y, float s) {
+  float* py = y.data();
+  for (std::int64_t i = 0; i < y.numel(); ++i) py[i] *= s;
+}
+
+// ---------------------------------------------------------------------------
+// Initialization fills
+// ---------------------------------------------------------------------------
+
+void fill_kaiming_normal(Tensor& t, int fan_in, Rng& rng) {
+  assert(fan_in > 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  fill_normal(t, 0.0f, stddev, rng);
+}
+
+void fill_uniform(Tensor& t, float lo, float hi, Rng& rng) {
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+}
+
+void fill_normal(Tensor& t, float mean, float stddev, Rng& rng) {
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.normal(mean, stddev));
+  }
+}
+
+}  // namespace stepping

@@ -1,0 +1,121 @@
+// Dense math kernels: GEMM, im2col convolution, pooling, softmax, fills.
+//
+// Convolutions are lowered to GEMM through im2col; this is the standard
+// CPU-friendly formulation and keeps a single tuned inner loop (gemm) for
+// both Dense and Conv2d layers.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace stepping {
+
+// ---------------------------------------------------------------------------
+// GEMM family. Row-major. Shapes asserted in debug builds.
+// ---------------------------------------------------------------------------
+
+/// C = A(MxK) * B(KxN)  (+ C if accumulate)
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+
+/// C = A^T(MxK from KxM... ) — explicit variants to avoid materialized
+/// transposes: C(MxN) = At^T * B where At is (K x M), B is (K x N).
+void gemm_tn(const Tensor& at, const Tensor& b, Tensor& c, bool accumulate = false);
+
+/// C(MxN) = A(MxK) * Bt^T where Bt is (N x K).
+void gemm_nt(const Tensor& a, const Tensor& bt, Tensor& c, bool accumulate = false);
+
+/// gemm computing only rows `i` of C with row_active[i] != 0; skipped rows
+/// are left untouched (callers pass a zero-initialized C). Used to evaluate
+/// only the units active in the executing subnet.
+void gemm_rows(const Tensor& a, const Tensor& b, Tensor& c,
+               const unsigned char* row_active);
+
+/// gemm_nt computing only columns `j` of C with col_active[j] != 0 (each
+/// column corresponds to one row of Bt, i.e. one output unit of a Dense
+/// layer). Skipped columns are left untouched.
+void gemm_nt_cols(const Tensor& a, const Tensor& bt, Tensor& c,
+                  const unsigned char* col_active);
+
+/// gemm_nt computing only rows `i` of C with row_active[i] != 0 (weight
+/// gradients of active units); always accumulates into C.
+void gemm_nt_rows_acc(const Tensor& a, const Tensor& bt, Tensor& c,
+                      const unsigned char* row_active);
+
+/// gemm_tn skipping contraction rows `p` with k_active[p] == 0 (whole-unit
+/// skip for the input-gradient pass; zero rows contribute nothing).
+void gemm_tn_rows(const Tensor& at, const Tensor& b, Tensor& c,
+                  const unsigned char* k_active);
+
+// ---------------------------------------------------------------------------
+// Convolution lowering.
+// ---------------------------------------------------------------------------
+
+struct Conv2dGeometry {
+  int in_c = 0, in_h = 0, in_w = 0;
+  int out_c = 0;
+  int kernel = 1;
+  int stride = 1;
+  int pad = 0;
+
+  int out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  int out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  /// Rows of the im2col matrix (= patch size).
+  int patch() const { return in_c * kernel * kernel; }
+};
+
+/// im2col for one image: x is (C, H, W) flattened within a batch tensor;
+/// writes a (patch, out_h*out_w) column matrix.
+void im2col(const float* x, const Conv2dGeometry& g, float* cols);
+
+/// col2im scatter-add, inverse of im2col (for input gradients).
+void col2im(const float* cols, const Conv2dGeometry& g, float* x);
+
+// ---------------------------------------------------------------------------
+// Pooling.
+// ---------------------------------------------------------------------------
+
+/// 2x2 (or kxk) max pooling, stride == k. Records argmax indices for the
+/// backward pass (same shape as output).
+void maxpool_forward(const Tensor& x, int k, Tensor& y, std::vector<int>& argmax);
+void maxpool_backward(const Tensor& grad_y, const std::vector<int>& argmax,
+                      Tensor& grad_x);
+
+/// Global average pooling over H,W: (N,C,H,W) -> (N,C).
+void global_avgpool_forward(const Tensor& x, Tensor& y);
+void global_avgpool_backward(const Tensor& grad_y, int h, int w, Tensor& grad_x);
+
+// ---------------------------------------------------------------------------
+// Softmax / elementwise.
+// ---------------------------------------------------------------------------
+
+/// Row-wise softmax of logits (N, C) -> probabilities (N, C). Numerically
+/// stabilized by max subtraction.
+void softmax_rows(const Tensor& logits, Tensor& probs);
+
+/// y = max(x, 0); mask records x > 0 for the backward pass.
+void relu_forward(const Tensor& x, Tensor& y, std::vector<unsigned char>& mask);
+void relu_backward(const Tensor& grad_y, const std::vector<unsigned char>& mask,
+                   Tensor& grad_x);
+
+/// y += x (shapes must match).
+void add_inplace(Tensor& y, const Tensor& x);
+
+/// y *= s.
+void scale_inplace(Tensor& y, float s);
+
+// ---------------------------------------------------------------------------
+// Random fills for initialization.
+// ---------------------------------------------------------------------------
+
+/// Kaiming/He normal fill for ReLU networks: N(0, sqrt(2 / fan_in)).
+void fill_kaiming_normal(Tensor& t, int fan_in, Rng& rng);
+
+/// Uniform fill in [lo, hi).
+void fill_uniform(Tensor& t, float lo, float hi, Rng& rng);
+
+/// Standard normal fill scaled by stddev.
+void fill_normal(Tensor& t, float mean, float stddev, Rng& rng);
+
+}  // namespace stepping

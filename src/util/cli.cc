@@ -1,0 +1,59 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace stepping {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& known_flags) {
+  auto known = [&](const std::string& f) {
+    return std::find(known_flags.begin(), known_flags.end(), f) !=
+           known_flags.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    if (!known(name)) {
+      errors_.push_back("unknown flag: --" + name);
+      continue;
+    }
+    flags_[name] = value;
+  }
+}
+
+std::string CliArgs::get(const std::string& flag,
+                         const std::string& fallback) const {
+  const auto it = flags_.find(flag);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+long CliArgs::get_int(const std::string& flag, long fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  return (end != it->second.c_str() && *end == '\0') ? v : fallback;
+}
+
+double CliArgs::get_double(const std::string& flag, double fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != it->second.c_str() && *end == '\0') ? v : fallback;
+}
+
+}  // namespace stepping

@@ -1,0 +1,37 @@
+// A minimal command-line flag parser for the steppingnet CLI tool.
+//
+// Supports `--flag value`, `--flag=value`, boolean `--flag`, and positional
+// arguments. Unknown flags are collected as errors so typos fail loudly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stepping {
+
+class CliArgs {
+ public:
+  /// Parse argv[1..). `known_flags` lists accepted flag names (without the
+  /// leading "--").
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& known_flags);
+
+  bool ok() const { return errors_.empty(); }
+  const std::vector<std::string>& errors() const { return errors_; }
+
+  /// Positional arguments in order (e.g. the subcommand).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& flag) const { return flags_.count(flag) > 0; }
+  std::string get(const std::string& flag, const std::string& fallback = "") const;
+  long get_int(const std::string& flag, long fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace stepping

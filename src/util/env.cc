@@ -1,0 +1,47 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace stepping {
+
+std::string env_or(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+long env_or_int(const std::string& name, long fallback) {
+  const std::string v = env_or(name, "");
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+double env_or_double(const std::string& name, double fallback) {
+  const std::string v = env_or(name, "");
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+BenchScale bench_scale() {
+  const std::string s = env_or("STEPPING_SCALE", "quick");
+  if (s == "full") return BenchScale::kFull;
+  if (s == "paper") return BenchScale::kPaper;
+  return BenchScale::kQuick;
+}
+
+const char* to_string(BenchScale s) {
+  switch (s) {
+    case BenchScale::kQuick: return "quick";
+    case BenchScale::kFull: return "full";
+    case BenchScale::kPaper: return "paper";
+  }
+  return "?";
+}
+
+}  // namespace stepping

@@ -1,0 +1,32 @@
+// Environment-variable driven configuration knobs.
+//
+// Every benchmark honours STEPPING_SCALE so that `for b in build/bench/*`
+// finishes quickly by default while a full-fidelity run remains one env var
+// away:
+//   STEPPING_SCALE=quick   (default) minutes-scale runs on one CPU core
+//   STEPPING_SCALE=full    larger datasets / more iterations
+//   STEPPING_SCALE=paper   the paper's iteration counts (hours on CPU)
+#pragma once
+
+#include <string>
+
+namespace stepping {
+
+/// Value of an environment variable, or `fallback` when unset/empty.
+std::string env_or(const std::string& name, const std::string& fallback);
+
+/// Integer env var with fallback; non-numeric values return the fallback.
+long env_or_int(const std::string& name, long fallback);
+
+/// Double env var with fallback; non-numeric values return the fallback.
+double env_or_double(const std::string& name, double fallback);
+
+enum class BenchScale { kQuick, kFull, kPaper };
+
+/// Parse STEPPING_SCALE. Unknown values map to kQuick.
+BenchScale bench_scale();
+
+/// Human-readable name of a scale.
+const char* to_string(BenchScale s);
+
+}  // namespace stepping

@@ -1,0 +1,60 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace stepping {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::once_flag g_env_once;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+void init_from_env() {
+  if (const char* e = std::getenv("STEPPING_LOG")) {
+    g_level.store(static_cast<int>(parse_log_level(e)));
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() {
+  std::call_once(g_env_once, init_from_env);
+  return static_cast<LogLevel>(g_level.load());
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& msg) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace stepping

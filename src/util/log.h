@@ -1,0 +1,56 @@
+// Minimal leveled logger used throughout the library.
+//
+// The global level is controlled programmatically (set_log_level) or through
+// the STEPPING_LOG environment variable ("debug", "info", "warn", "error",
+// "off"). Logging is line-buffered to stderr so it interleaves sanely with
+// benchmark table output on stdout.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace stepping {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse a level name; unknown names map to kInfo.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace detail
+
+}  // namespace stepping
+
+#define STEPPING_LOG(level)                                       \
+  if (static_cast<int>(level) < static_cast<int>(::stepping::log_level())) \
+    ;                                                             \
+  else                                                            \
+    ::stepping::detail::LogStream(level)
+
+#define LOG_DEBUG STEPPING_LOG(::stepping::LogLevel::kDebug)
+#define LOG_INFO STEPPING_LOG(::stepping::LogLevel::kInfo)
+#define LOG_WARN STEPPING_LOG(::stepping::LogLevel::kWarn)
+#define LOG_ERROR STEPPING_LOG(::stepping::LogLevel::kError)

@@ -1,0 +1,42 @@
+// Console table / CSV emission for benchmark harnesses.
+//
+// Benchmarks print the same rows the paper reports; Table renders them as an
+// aligned ASCII table on stdout and optionally mirrors them into a CSV file
+// for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stepping {
+
+/// An aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string fmt(double v, int precision = 2);
+
+  /// Percentage with a '%' suffix, e.g. fmt_pct(0.685) == "68.50%".
+  static std::string fmt_pct(double fraction, int precision = 2);
+
+  /// Render to an aligned ASCII string.
+  std::string to_string() const;
+
+  /// Print to stdout with an optional caption line.
+  void print(const std::string& caption = "") const;
+
+  /// Write as CSV (header + rows). Returns false if the file cannot be
+  /// opened.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stepping

@@ -1,0 +1,27 @@
+// Wall-clock timing helper.
+#pragma once
+
+#include <chrono>
+
+namespace stepping {
+
+/// Monotonic wall-clock stopwatch; starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stepping

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "baselines/any_width.h"
+#include "core/adaptive.h"
+#include "core/macs.h"
+#include "models/models.h"
+#include "tensor/ops.h"
+
+namespace stepping {
+namespace {
+
+Network nested_net() {
+  ModelConfig mc{.classes = 10, .expansion = 1.5, .width_mult = 0.15};
+  Network net = build_lenet3c1l(mc);
+  const std::int64_t full = full_macs(net);
+  std::vector<std::int64_t> budgets = {full / 8, full / 3, (2 * full) / 3};
+  assign_prefix_subnets(net, solve_prefix_fractions(net, budgets));
+  return net;
+}
+
+Tensor one_input(std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor x({1, 3, 32, 32});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  return x;
+}
+
+TEST(Adaptive, RequiresMaxSubnet) {
+  Network net = nested_net();
+  AdaptiveConfig cfg;
+  cfg.max_subnet = 0;
+  EXPECT_THROW(AdaptiveExecutor(net, cfg), std::invalid_argument);
+}
+
+TEST(Adaptive, RejectsBadThreshold) {
+  Network net = nested_net();
+  AdaptiveConfig cfg;
+  cfg.max_subnet = 3;
+  cfg.confidence_threshold = 0.0;
+  EXPECT_THROW(AdaptiveExecutor(net, cfg), std::invalid_argument);
+  cfg.confidence_threshold = 1.5;
+  EXPECT_THROW(AdaptiveExecutor(net, cfg), std::invalid_argument);
+}
+
+TEST(Adaptive, TinyThresholdExitsAtLevelOne) {
+  Network net = nested_net();
+  AdaptiveConfig cfg;
+  cfg.max_subnet = 3;
+  cfg.confidence_threshold = 1e-6;  // any softmax top-1 >= 1/classes
+  AdaptiveExecutor ex(net, cfg);
+  const AdaptiveResult r = ex.run(one_input(1));
+  EXPECT_EQ(r.exit_subnet, 1);
+  EXPECT_EQ(r.macs, subnet_macs(net, 1));
+}
+
+TEST(Adaptive, ImpossibleThresholdClimbsToTop) {
+  Network net = nested_net();
+  AdaptiveConfig cfg;
+  cfg.max_subnet = 3;
+  cfg.confidence_threshold = 1.0;  // softmax top-1 < 1 for finite logits
+  AdaptiveExecutor ex(net, cfg);
+  const AdaptiveResult r = ex.run(one_input(2));
+  EXPECT_EQ(r.exit_subnet, 3);
+  // MACs: full ladder with reuse = subnet-3 body + head recomputes at 1, 2.
+  auto* head = net.masked_layers().back();
+  EXPECT_EQ(r.macs,
+            subnet_macs(net, 3) + head->subnet_macs(1) + head->subnet_macs(2));
+}
+
+TEST(Adaptive, ExitLogitsMatchDirectEvaluation) {
+  Network net = nested_net();
+  AdaptiveConfig cfg;
+  cfg.max_subnet = 3;
+  cfg.confidence_threshold = 0.5;
+  AdaptiveExecutor ex(net, cfg);
+  const Tensor x = one_input(3);
+  const AdaptiveResult r = ex.run(x);
+  SubnetContext ctx;
+  ctx.subnet_id = r.exit_subnet;
+  const Tensor direct = net.forward(x, ctx);
+  for (std::int64_t i = 0; i < direct.numel(); ++i) {
+    EXPECT_EQ(r.logits[i], direct[i]);
+  }
+}
+
+TEST(Adaptive, ConfidenceIsTopOneSoftmax) {
+  Network net = nested_net();
+  AdaptiveConfig cfg;
+  cfg.max_subnet = 3;
+  cfg.confidence_threshold = 1.0;
+  AdaptiveExecutor ex(net, cfg);
+  const AdaptiveResult r = ex.run(one_input(4));
+  Tensor probs;
+  softmax_rows(r.logits, probs);
+  double top1 = 0.0;
+  for (int c = 0; c < probs.dim(1); ++c) {
+    top1 = std::max(top1, static_cast<double>(probs.at(0, c)));
+  }
+  EXPECT_NEAR(r.confidence, top1, 1e-12);
+}
+
+TEST(Adaptive, HigherThresholdNeverCostsFewerMacs) {
+  Network net = nested_net();
+  const Tensor x = one_input(5);
+  std::int64_t prev = 0;
+  for (const double th : {0.2, 0.5, 0.8, 0.95, 1.0}) {
+    AdaptiveConfig cfg;
+    cfg.max_subnet = 3;
+    cfg.confidence_threshold = th;
+    AdaptiveExecutor ex(net, cfg);
+    const AdaptiveResult r = ex.run(x);
+    EXPECT_GE(r.macs, prev) << "threshold " << th;
+    prev = r.macs;
+  }
+}
+
+TEST(Adaptive, MacBudgetCapsClimbing) {
+  Network net = nested_net();
+  const Tensor x = one_input(7);
+  // Unlimited budget reaches the top (threshold impossible).
+  AdaptiveConfig unlimited;
+  unlimited.max_subnet = 3;
+  unlimited.confidence_threshold = 1.0;
+  AdaptiveExecutor ex_unlimited(net, unlimited);
+  const AdaptiveResult top = ex_unlimited.run(x);
+  ASSERT_EQ(top.exit_subnet, 3);
+
+  // Budget exactly one MAC above subnet 1: no further step fits.
+  AdaptiveConfig tight = unlimited;
+  tight.mac_budget = subnet_macs(net, 1) + 1;
+  AdaptiveExecutor ex_tight(net, tight);
+  const AdaptiveResult r = ex_tight.run(x);
+  EXPECT_EQ(r.exit_subnet, 1);
+  EXPECT_LE(r.macs, tight.mac_budget);
+}
+
+TEST(Adaptive, MacBudgetNeverExceeded) {
+  Network net = nested_net();
+  const Tensor x = one_input(8);
+  for (const double frac : {0.3, 0.6, 1.0}) {
+    AdaptiveConfig cfg;
+    cfg.max_subnet = 3;
+    cfg.confidence_threshold = 1.0;
+    cfg.mac_budget =
+        static_cast<std::int64_t>(frac * static_cast<double>(subnet_macs(net, 3)) * 1.5);
+    AdaptiveExecutor ex(net, cfg);
+    const AdaptiveResult r = ex.run(x);
+    EXPECT_LE(r.macs, cfg.mac_budget) << "frac " << frac;
+    EXPECT_GE(r.exit_subnet, 1);
+  }
+}
+
+TEST(Adaptive, MaxSubnetCapsTheLadder) {
+  Network net = nested_net();
+  AdaptiveConfig cfg;
+  cfg.max_subnet = 2;
+  cfg.confidence_threshold = 1.0;
+  AdaptiveExecutor ex(net, cfg);
+  const AdaptiveResult r = ex.run(one_input(6));
+  EXPECT_EQ(r.exit_subnet, 2);
+}
+
+}  // namespace
+}  // namespace stepping

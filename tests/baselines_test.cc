@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "baselines/any_width.h"
+#include "baselines/slimmable.h"
+#include "core/macs.h"
+#include "core/train_loops.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "tensor/ops.h"
+
+namespace stepping {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Any-width
+// ---------------------------------------------------------------------------
+
+Network small_expanded() {
+  return build_lenet3c1l(
+      ModelConfig{.classes = 10, .expansion = 1.5, .width_mult = 0.2});
+}
+
+TEST(AnyWidth, PrefixMacsMonotoneInFraction) {
+  Network net = small_expanded();
+  std::int64_t prev = 0;
+  for (double f = 0.1; f <= 1.0; f += 0.1) {
+    const std::int64_t m = prefix_macs(net, f);
+    EXPECT_GE(m, prev);
+    prev = m;
+  }
+  EXPECT_EQ(prefix_macs(net, 1.0), full_macs(net));
+}
+
+TEST(AnyWidth, SolvedFractionsHitBudgets) {
+  Network net = small_expanded();
+  const std::int64_t full = full_macs(net);
+  const std::vector<std::int64_t> budgets = {full / 10, full / 3, full / 2};
+  const auto fracs = solve_prefix_fractions(net, budgets);
+  ASSERT_EQ(fracs.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::int64_t got = prefix_macs(net, fracs[i]);
+    EXPECT_LE(got, budgets[i]);
+    // Within one quantization step of the budget (unit granularity).
+    EXPECT_GT(got, static_cast<std::int64_t>(0.5 * budgets[i]));
+  }
+  EXPECT_LE(fracs[0], fracs[1]);
+  EXPECT_LE(fracs[1], fracs[2]);
+}
+
+TEST(AnyWidth, PrefixAssignmentsAreNestedPrefixes) {
+  Network net = small_expanded();
+  assign_prefix_subnets(net, {0.25, 0.5, 0.75});
+  for (MaskedLayer* m : net.body_layers()) {
+    const auto& a = m->unit_subnet();
+    // Assignments must be non-decreasing along the unit index (prefix
+    // structure) and within [1, 4].
+    for (std::size_t u = 1; u < a.size(); ++u) EXPECT_GE(a[u], a[u - 1]);
+    EXPECT_GE(a.front(), 1);
+    EXPECT_LE(a.back(), 4);
+  }
+}
+
+TEST(AnyWidth, EndToEndTrainsAboveChance) {
+  const DataSplit data =
+      make_synthetic(synth_cifar10(/*train_per_class=*/20, /*test_per_class=*/8));
+  AnyWidthConfig cfg;
+  cfg.num_subnets = 3;
+  cfg.mac_budget_frac = {0.1, 0.4, 0.8};
+  Network net = small_expanded();
+  cfg.reference_macs = full_macs(net);
+  AnyWidthNet awn(std::move(net), cfg);
+  awn.configure();
+  awn.train(data.train, /*epochs=*/4, /*batch_size=*/20);
+  const double acc3 = awn.accuracy(data.test, 3);
+  EXPECT_GT(acc3, 0.2);
+  // MAC fractions respect the ladder.
+  EXPECT_LE(awn.mac_fraction(1), 0.11);
+  EXPECT_LE(awn.mac_fraction(2), 0.41);
+  EXPECT_LE(awn.mac_fraction(3), 0.81);
+}
+
+// ---------------------------------------------------------------------------
+// Slimmable
+// ---------------------------------------------------------------------------
+
+TEST(Slimmable, SpecMacsMatchFullNetworkAtFractionOne) {
+  const SlimSpec spec = slim_spec_for_model("lenet3c1l", 10, 1.5, 0.2);
+  Network ref = small_expanded();
+  EXPECT_EQ(slim_macs_for_fraction(spec, 1.0), full_macs(ref));
+}
+
+TEST(Slimmable, MacsMonotoneInFraction) {
+  const SlimSpec spec = slim_spec_for_model("lenet5", 10, 1.0, 0.5);
+  std::int64_t prev = 0;
+  for (double f = 0.1; f <= 1.0; f += 0.1) {
+    const std::int64_t m = slim_macs_for_fraction(spec, f);
+    EXPECT_GE(m, prev);
+    prev = m;
+  }
+}
+
+TEST(Slimmable, SolvedFractionsNestAndRespectBudgets) {
+  const SlimSpec spec = slim_spec_for_model("lenet3c1l", 10, 1.5, 0.2);
+  const std::int64_t full = slim_macs_for_fraction(spec, 1.0);
+  const auto fracs = solve_slim_fractions(spec, {full / 8, full / 3, full / 2});
+  EXPECT_LE(fracs[0], fracs[1]);
+  EXPECT_LE(fracs[1], fracs[2]);
+  EXPECT_LE(slim_macs_for_fraction(spec, fracs[0]), full / 8);
+}
+
+TEST(Slimmable, ForwardShapesAndWidthSelection) {
+  const SlimSpec spec = slim_spec_for_model("lenet3c1l", 10, 1.0, 0.3);
+  SlimmableNet net(spec, {0.3, 0.6, 1.0});
+  Rng rng(3);
+  Tensor x({2, 3, 32, 32});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  for (int sub = 1; sub <= 3; ++sub) {
+    const Tensor y = net.forward(x, sub, /*training=*/false);
+    EXPECT_EQ(y.shape(), (std::vector<int>{2, 10}));
+  }
+  EXPECT_LT(net.macs(1), net.macs(2));
+  EXPECT_LT(net.macs(2), net.macs(3));
+}
+
+TEST(Slimmable, UnknownModelThrows) {
+  EXPECT_THROW(slim_spec_for_model("alexnet", 10, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Slimmable, JointTrainingLearnsAllSwitches) {
+  const DataSplit data =
+      make_synthetic(synth_cifar10(/*train_per_class=*/20, /*test_per_class=*/8));
+  const SlimSpec spec = slim_spec_for_model("lenet3c1l", 10, 1.0, 0.25);
+  SlimmableNet net(spec, {0.35, 0.7, 1.0});
+  net.train(data.train, /*epochs=*/4, /*batch_size=*/20, SgdConfig{});
+  for (int sub = 1; sub <= 3; ++sub) {
+    EXPECT_GT(net.accuracy(data.test, sub), 0.15) << "switch " << sub;
+  }
+}
+
+TEST(Slimmable, SwitchableBnKeepsPerSwitchStatistics) {
+  // Train only switch 2 on shifted data: switch 1's BN statistics must stay
+  // untouched (separate parameter sets per switch).
+  const SlimSpec spec = slim_spec_for_model("lenet3c1l", 10, 1.0, 0.2);
+  SlimmableNet net(spec, {0.5, 1.0});
+  Rng rng(5);
+  Tensor x({4, 3, 32, 32});
+  fill_normal(x, 3.0f, 1.0f, rng);
+  const Tensor before1 = net.forward(x, 1, /*training=*/false);
+  // Forward switch 2 in training mode a few times (updates its BN stats).
+  for (int i = 0; i < 5; ++i) net.forward(x, 2, /*training=*/true);
+  const Tensor after1 = net.forward(x, 1, /*training=*/false);
+  for (std::int64_t i = 0; i < before1.numel(); ++i) {
+    EXPECT_EQ(before1[i], after1[i]);
+  }
+}
+
+}  // namespace
+}  // namespace stepping

@@ -1,0 +1,85 @@
+// Tests for the benchmark harness configuration (bench/common.{h,cc}):
+// the paper parameters baked into each spec and the scale ladder.
+#include <gtest/gtest.h>
+
+#include "common.h"
+#include "core/macs.h"
+#include "models/models.h"
+
+namespace stepping::bench {
+namespace {
+
+TEST(BenchSpec, PaperBudgetsPerNetwork) {
+  const ExperimentSpec a = spec_for("lenet3c1l", BenchScale::kQuick);
+  EXPECT_EQ(a.budgets, (std::vector<double>{0.10, 0.30, 0.50, 0.85}));
+  EXPECT_DOUBLE_EQ(a.expansion, 1.8);
+  EXPECT_EQ(a.dataset, "c10");
+
+  const ExperimentSpec b = spec_for("lenet5", BenchScale::kQuick);
+  EXPECT_EQ(b.budgets, (std::vector<double>{0.15, 0.30, 0.60, 0.85}));
+  EXPECT_DOUBLE_EQ(b.expansion, 2.0);
+
+  const ExperimentSpec c = spec_for("vgg16", BenchScale::kQuick);
+  EXPECT_EQ(c.budgets, (std::vector<double>{0.20, 0.40, 0.50, 0.70}));
+  EXPECT_EQ(c.dataset, "c100");
+}
+
+TEST(BenchSpec, ScalesAreMonotoneInFidelity) {
+  for (const char* model : {"lenet3c1l", "lenet5", "vgg16"}) {
+    const ExperimentSpec q = spec_for(model, BenchScale::kQuick);
+    const ExperimentSpec f = spec_for(model, BenchScale::kFull);
+    const ExperimentSpec p = spec_for(model, BenchScale::kPaper);
+    EXPECT_LE(q.width_mult, f.width_mult) << model;
+    EXPECT_LE(f.width_mult, p.width_mult) << model;
+    EXPECT_LE(q.train_per_class, f.train_per_class) << model;
+    EXPECT_LE(f.train_per_class, p.train_per_class) << model;
+    EXPECT_LE(q.max_iters, p.max_iters) << model;
+  }
+}
+
+TEST(BenchSpec, PaperScaleMatchesPublishedIterationCounts) {
+  const ExperimentSpec p = spec_for("lenet3c1l", BenchScale::kPaper);
+  EXPECT_EQ(p.max_iters, 300);           // N_t
+  EXPECT_EQ(p.batches_per_iter, 250);    // m for LeNets
+  const ExperimentSpec v = spec_for("vgg16", BenchScale::kPaper);
+  EXPECT_EQ(v.batches_per_iter, 100);    // m for VGG-16
+  EXPECT_DOUBLE_EQ(p.width_mult, 1.0);
+}
+
+TEST(BenchSpec, MakeDataMatchesSpecSizes) {
+  ExperimentSpec s = spec_for("lenet3c1l", BenchScale::kQuick);
+  s.train_per_class = 5;
+  s.test_per_class = 2;
+  const DataSplit d = make_data(s);
+  EXPECT_EQ(d.train.size(), 50);
+  EXPECT_EQ(d.test.size(), 20);
+  EXPECT_EQ(d.train.num_classes, 10);
+}
+
+TEST(BenchSpec, NoiseOverrideChangesData) {
+  ExperimentSpec s = spec_for("lenet3c1l", BenchScale::kQuick);
+  s.train_per_class = 3;
+  s.test_per_class = 1;
+  const DataSplit base = make_data(s);
+  s.noise_override = 5.0;
+  const DataSplit noisy = make_data(s);
+  int diff = 0;
+  for (std::int64_t i = 0; i < 200; ++i) {
+    if (base.train.images[i] != noisy.train.images[i]) ++diff;
+  }
+  EXPECT_GT(diff, 100);
+}
+
+TEST(BenchSpec, ReferenceMacsUsesUnexpandedModel) {
+  const ExperimentSpec s = spec_for("lenet3c1l", BenchScale::kQuick);
+  ModelConfig mc;
+  mc.classes = 10;
+  mc.expansion = 1.0;
+  mc.width_mult = s.width_mult;
+  mc.seed = s.seed + 7;
+  Network ref = build_model(s.model, mc);
+  EXPECT_EQ(reference_macs(s), full_macs(ref));
+}
+
+}  // namespace
+}  // namespace stepping::bench

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/macs.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+
+namespace stepping {
+namespace {
+
+struct BuiltFixture {
+  Network net;
+  ConstructionReport report;
+  SteppingConfig cfg;
+  std::int64_t ref_macs;
+};
+
+/// Run a miniature construction once and share it across assertions (the
+/// loop trains, so it is the slow part of this suite).
+BuiltFixture& fixture() {
+  static BuiltFixture* f = [] {
+    auto* fx = new BuiltFixture();
+    ModelConfig ref_cfg{.classes = 10, .expansion = 1.0, .width_mult = 0.15};
+    Network reference = build_lenet3c1l(ref_cfg);
+    fx->ref_macs = full_macs(reference);
+
+    ModelConfig mc = ref_cfg;
+    mc.expansion = 1.8;
+    fx->net = build_lenet3c1l(mc);
+
+    fx->cfg.num_subnets = 3;
+    fx->cfg.mac_budget_frac = {0.15, 0.45, 0.85};
+    fx->cfg.reference_macs = fx->ref_macs;
+    fx->cfg.batches_per_iter = 2;
+    fx->cfg.max_iters = 40;
+    fx->cfg.sgd.lr = 0.05;
+
+    const DataSplit data =
+        make_synthetic(synth_cifar10(/*train_per_class=*/20, /*test_per_class=*/5));
+    LoaderConfig lc;
+    lc.batch_size = 16;
+    DataLoader loader(data.train, lc, Rng(3));
+    Sgd sgd(fx->cfg.sgd);
+    fx->report = construct_subnets(fx->net, fx->cfg, loader, sgd);
+    return fx;
+  }();
+  return *f;
+}
+
+TEST(Builder, MeetsAllMacBudgets) {
+  auto& f = fixture();
+  EXPECT_TRUE(f.report.budgets_met);
+  for (int i = 0; i < f.cfg.num_subnets; ++i) {
+    EXPECT_LE(f.report.subnet_mac_frac[static_cast<std::size_t>(i)],
+              f.cfg.mac_budget_frac[static_cast<std::size_t>(i)] + 1e-9);
+  }
+}
+
+TEST(Builder, SubnetMacsNearBudgetsNotFarBelow) {
+  // The quota bound keeps each subnet reasonably close to its budget rather
+  // than collapsing far beneath it.
+  auto& f = fixture();
+  EXPECT_GT(f.report.subnet_mac_frac[0], f.cfg.mac_budget_frac[0] * 0.4);
+  EXPECT_GT(f.report.subnet_mac_frac[1], f.cfg.mac_budget_frac[1] * 0.4);
+}
+
+TEST(Builder, NestingInvariantHolds) {
+  auto& f = fixture();
+  const auto macs = all_subnet_macs(f.net, f.cfg.num_subnets);
+  for (std::size_t i = 1; i < macs.size(); ++i) EXPECT_GE(macs[i], macs[i - 1]);
+}
+
+TEST(Builder, AssignmentsStayInValidRange) {
+  auto& f = fixture();
+  for (MaskedLayer* m : f.net.body_layers()) {
+    for (const int s : m->unit_subnet()) {
+      EXPECT_GE(s, 1);
+      EXPECT_LE(s, f.cfg.num_subnets + 1);  // +1 = discard pool
+    }
+  }
+}
+
+TEST(Builder, EverySubnetKeepsUnitsInEveryLayer) {
+  auto& f = fixture();
+  for (MaskedLayer* m : f.net.body_layers()) {
+    for (int i = 1; i <= f.cfg.num_subnets; ++i) {
+      int count = 0;
+      for (const int s : m->unit_subnet()) {
+        if (s <= i) ++count;
+      }
+      EXPECT_GE(count, f.cfg.min_units_per_layer)
+          << m->name() << " subnet " << i;
+    }
+  }
+}
+
+TEST(Builder, ReportsMovedUnitsAndIterations) {
+  auto& f = fixture();
+  EXPECT_GT(f.report.total_moved_units, 0);
+  EXPECT_GT(f.report.iterations, 1);
+  EXPECT_LE(f.report.iterations, f.cfg.max_iters);
+}
+
+TEST(Builder, ExpandedMacsLargerThanReference) {
+  auto& f = fixture();
+  EXPECT_GT(f.report.expanded_macs, f.ref_macs);
+}
+
+TEST(Builder, DiscardPoolNonEmpty) {
+  // Budgets sum far below the expanded network, so construction must have
+  // discarded units entirely (the N+1 pool).
+  auto& f = fixture();
+  int discarded = 0;
+  for (MaskedLayer* m : f.net.body_layers()) {
+    for (const int s : m->unit_subnet()) {
+      if (s == f.cfg.num_subnets + 1) ++discarded;
+    }
+  }
+  EXPECT_GT(discarded, 0);
+}
+
+}  // namespace
+}  // namespace stepping

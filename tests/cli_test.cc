@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "util/cli.h"
+
+namespace stepping {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv,
+              std::vector<std::string> known = {"model", "width", "verbose",
+                                                "epochs"}) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(v.size()), v.data(), known);
+}
+
+TEST(Cli, PositionalArguments) {
+  const CliArgs args = parse({"train", "extra"});
+  ASSERT_TRUE(args.ok());
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "train");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  const CliArgs args = parse({"--model", "lenet5"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.get("model"), "lenet5");
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  const CliArgs args = parse({"--model=vgg16"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.get("model"), "vgg16");
+}
+
+TEST(Cli, BooleanFlagBeforeAnotherFlag) {
+  const CliArgs args = parse({"--verbose", "--model", "lenet5"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose"), "");
+  EXPECT_EQ(args.get("model"), "lenet5");
+}
+
+TEST(Cli, UnknownFlagIsAnError) {
+  const CliArgs args = parse({"--mdoel", "lenet5"});
+  EXPECT_FALSE(args.ok());
+  ASSERT_EQ(args.errors().size(), 1u);
+  EXPECT_NE(args.errors()[0].find("mdoel"), std::string::npos);
+}
+
+TEST(Cli, NumericAccessorsWithFallback) {
+  const CliArgs args = parse({"--epochs", "12", "--width", "0.5"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.get_int("epochs", 0), 12);
+  EXPECT_DOUBLE_EQ(args.get_double("width", 0.0), 0.5);
+  EXPECT_EQ(args.get_int("model", 7), 7);  // absent -> fallback
+}
+
+TEST(Cli, MalformedNumberFallsBack) {
+  const CliArgs args = parse({"--epochs", "twelve"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.get_int("epochs", 3), 3);
+}
+
+TEST(Cli, MixedPositionalAndFlags) {
+  const CliArgs args = parse({"train", "--model=lenet5", "--epochs", "3"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.get("model"), "lenet5");
+  EXPECT_EQ(args.get_int("epochs", 0), 3);
+}
+
+}  // namespace
+}  // namespace stepping

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <cmath>
+#include <set>
+
+#include "data/loader.h"
+#include "data/ppm.h"
+#include "data/synthetic.h"
+
+namespace stepping {
+namespace {
+
+SynthConfig tiny_cfg() {
+  SynthConfig cfg = synth_cifar10(/*train_per_class=*/10, /*test_per_class=*/4);
+  return cfg;
+}
+
+TEST(Synthetic, ShapesAndCounts) {
+  const DataSplit d = make_synthetic(tiny_cfg());
+  EXPECT_EQ(d.train.size(), 100);
+  EXPECT_EQ(d.test.size(), 40);
+  EXPECT_EQ(d.train.channels(), 3);
+  EXPECT_EQ(d.train.height(), 32);
+  EXPECT_EQ(d.train.width(), 32);
+  EXPECT_EQ(d.train.num_classes, 10);
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const DataSplit a = make_synthetic(tiny_cfg());
+  const DataSplit b = make_synthetic(tiny_cfg());
+  ASSERT_EQ(a.train.images.numel(), b.train.images.numel());
+  for (std::int64_t i = 0; i < a.train.images.numel(); ++i) {
+    ASSERT_EQ(a.train.images[i], b.train.images[i]);
+  }
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Synthetic, DifferentSeedsProduceDifferentData) {
+  SynthConfig c1 = tiny_cfg(), c2 = tiny_cfg();
+  c2.seed = 777;
+  const DataSplit a = make_synthetic(c1);
+  const DataSplit b = make_synthetic(c2);
+  int diff = 0;
+  for (std::int64_t i = 0; i < 100 && i < a.train.images.numel(); ++i) {
+    if (a.train.images[i] != b.train.images[i]) ++diff;
+  }
+  EXPECT_GT(diff, 50);
+}
+
+TEST(Synthetic, LabelsInRange) {
+  const DataSplit d = make_synthetic(tiny_cfg());
+  for (const int y : d.train.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 10);
+  }
+}
+
+TEST(Synthetic, AllClassesRepresented) {
+  const DataSplit d = make_synthetic(tiny_cfg());
+  std::set<int> seen(d.train.labels.begin(), d.train.labels.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Synthetic, LabelNoiseApproximatelyRespected) {
+  SynthConfig cfg = tiny_cfg();
+  cfg.train_per_class = 300;
+  cfg.label_noise = 0.2;
+  const DataSplit d = make_synthetic(cfg);
+  // Without noise, sample i of class k has label k; count mismatches.
+  int wrong = 0;
+  int i = 0;
+  for (int k = 0; k < cfg.num_classes; ++k) {
+    for (int s = 0; s < cfg.train_per_class; ++s, ++i) {
+      if (d.train.labels[static_cast<std::size_t>(i)] != k) ++wrong;
+    }
+  }
+  // Uniform label noise keeps the true class 1/num_classes of the time.
+  const double expect = 0.2 * (1.0 - 1.0 / cfg.num_classes);
+  EXPECT_NEAR(static_cast<double>(wrong) / d.train.size(), expect, 0.03);
+}
+
+TEST(Synthetic, Cifar100PresetHas100Classes) {
+  SynthConfig cfg = synth_cifar100(/*train_per_class=*/3, /*test_per_class=*/1);
+  const DataSplit d = make_synthetic(cfg);
+  EXPECT_EQ(d.train.num_classes, 100);
+  EXPECT_EQ(d.train.size(), 300);
+}
+
+TEST(Synthetic, SignalPresentAboveNoise) {
+  // Same-class samples must correlate more than cross-class ones on average
+  // (otherwise the task would be unlearnable).
+  SynthConfig cfg = tiny_cfg();
+  cfg.num_classes = 2;
+  cfg.train_per_class = 40;
+  cfg.label_noise = 0.0;
+  cfg.max_shift = 0;  // alignment makes correlation meaningful
+  const DataSplit d = make_synthetic(cfg);
+  const std::int64_t img = d.train.images.numel() / d.train.size();
+  auto dot = [&](int a, int b) {
+    const float* pa = d.train.images.data() + a * img;
+    const float* pb = d.train.images.data() + b * img;
+    double s = 0.0;
+    for (std::int64_t i = 0; i < img; ++i) s += static_cast<double>(pa[i]) * pb[i];
+    return s;
+  };
+  double same = 0.0, cross = 0.0;
+  int n_same = 0, n_cross = 0;
+  for (int a = 0; a < 40; a += 5) {
+    for (int b = a + 1; b < 40; b += 5) {
+      same += dot(a, b);
+      ++n_same;
+    }
+    for (int b = 40; b < 80; b += 5) {
+      cross += dot(a, b);
+      ++n_cross;
+    }
+  }
+  EXPECT_GT(same / n_same, cross / n_cross);
+}
+
+TEST(DatasetTest, BatchExtraction) {
+  const DataSplit d = make_synthetic(tiny_cfg());
+  Tensor x;
+  std::vector<int> y;
+  d.train.batch(10, 5, x, y);
+  EXPECT_EQ(x.shape(), (std::vector<int>{5, 3, 32, 32}));
+  EXPECT_EQ(y.size(), 5u);
+  EXPECT_EQ(y[0], d.train.labels[10]);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(x[i], d.train.images[10 * 3 * 32 * 32 + i]);
+  }
+}
+
+TEST(DatasetTest, SubsetCopiesSelectedRows) {
+  const DataSplit d = make_synthetic(tiny_cfg());
+  const Dataset s = d.train.subset({3, 7, 11});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.labels[1], d.train.labels[7]);
+  const std::int64_t img = s.images.numel() / 3;
+  for (std::int64_t i = 0; i < img; ++i) {
+    EXPECT_EQ(s.images[img + i], d.train.images[7 * img + i]);
+  }
+}
+
+TEST(DataLoaderTest, CoversEverySampleOncePerEpoch) {
+  const DataSplit d = make_synthetic(tiny_cfg());
+  LoaderConfig lc;
+  lc.batch_size = 7;
+  DataLoader loader(d.train, lc, Rng(1));
+  std::multiset<int> labels_seen;
+  const int bpe = loader.batches_per_epoch();
+  EXPECT_EQ(bpe, (100 + 6) / 7);
+  int total = 0;
+  for (int b = 0; b < bpe; ++b) {
+    const auto batch = loader.next();
+    total += static_cast<int>(batch.y.size());
+    for (const int y : batch.y) labels_seen.insert(y);
+  }
+  EXPECT_EQ(total, 100);
+  std::multiset<int> expected(d.train.labels.begin(), d.train.labels.end());
+  EXPECT_EQ(labels_seen, expected);
+}
+
+TEST(DataLoaderTest, WrapsAcrossEpochsAndReshuffles) {
+  const DataSplit d = make_synthetic(tiny_cfg());
+  LoaderConfig lc;
+  lc.batch_size = 100;
+  DataLoader loader(d.train, lc, Rng(2));
+  const auto e1 = loader.next();
+  const auto e2 = loader.next();
+  EXPECT_EQ(loader.epoch(), 1);
+  // Same multiset of labels, different order with overwhelming probability.
+  bool same_order = true;
+  for (std::size_t i = 0; i < e1.y.size(); ++i) {
+    if (e1.y[i] != e2.y[i]) {
+      same_order = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(same_order);
+}
+
+TEST(DataLoaderTest, AugmentationPreservesShapeAndScale) {
+  const DataSplit d = make_synthetic(tiny_cfg());
+  LoaderConfig lc;
+  lc.batch_size = 20;
+  lc.augment = true;
+  lc.pad_shift = 2;
+  DataLoader loader(d.train, lc, Rng(3));
+  const auto batch = loader.next();
+  EXPECT_EQ(batch.x.shape(), (std::vector<int>{20, 3, 32, 32}));
+  // Augmented images stay in a sane numeric range.
+  for (std::int64_t i = 0; i < batch.x.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(batch.x[i]));
+  }
+}
+
+TEST(DataLoaderTest, DeterministicGivenSeed) {
+  const DataSplit d = make_synthetic(tiny_cfg());
+  LoaderConfig lc;
+  lc.batch_size = 16;
+  DataLoader a(d.train, lc, Rng(9));
+  DataLoader b(d.train, lc, Rng(9));
+  for (int i = 0; i < 5; ++i) {
+    const auto ba = a.next();
+    const auto bb = b.next();
+    EXPECT_EQ(ba.y, bb.y);
+  }
+}
+
+TEST(Ppm, WritesValidHeaderAndSize) {
+  const DataSplit d = make_synthetic(tiny_cfg());
+  const std::string path = ::testing::TempDir() + "/stepping_sample.ppm";
+  ASSERT_TRUE(write_ppm(d.train, 0, path));
+  std::ifstream f(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  f >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 32);
+  EXPECT_EQ(h, 32);
+  EXPECT_EQ(maxval, 255);
+  f.get();  // single whitespace after header
+  std::vector<char> body(32 * 32 * 3);
+  f.read(body.data(), static_cast<std::streamsize>(body.size()));
+  EXPECT_EQ(f.gcount(), static_cast<std::streamsize>(body.size()));
+}
+
+TEST(Ppm, RejectsOutOfRangeIndex) {
+  const DataSplit d = make_synthetic(tiny_cfg());
+  EXPECT_FALSE(write_ppm(d.train, -1, ::testing::TempDir() + "/x.ppm"));
+  EXPECT_FALSE(write_ppm(d.train, d.train.size(), ::testing::TempDir() + "/x.ppm"));
+}
+
+TEST(Ppm, GridGeometry) {
+  const DataSplit d = make_synthetic(tiny_cfg());
+  const std::string path = ::testing::TempDir() + "/stepping_grid.ppm";
+  ASSERT_TRUE(write_ppm_grid(d.train, 2, 3, path));
+  std::ifstream f(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0;
+  f >> magic >> w >> h;
+  EXPECT_EQ(w, 3 * 33 - 1);
+  EXPECT_EQ(h, 2 * 33 - 1);
+  EXPECT_FALSE(write_ppm_grid(d.train, 100, 100, path));  // too many cells
+}
+
+TEST(DatasetAccuracyTest, CountsCorrectFraction) {
+  Dataset d;
+  d.images = Tensor({4, 1, 2, 2});
+  d.labels = {0, 1, 0, 1};
+  d.num_classes = 2;
+  // "Model" that always predicts class 0.
+  const double acc =
+      dataset_accuracy(d, 3, [](const Tensor&, const std::vector<int>& y) {
+        int c = 0;
+        for (const int v : y) {
+          if (v == 0) ++c;
+        }
+        return c;
+      });
+  EXPECT_DOUBLE_EQ(acc, 0.5);
+}
+
+}  // namespace
+}  // namespace stepping

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "core/incremental.h"
+#include "nn/trainer.h"
+#include "core/macs.h"
+#include "core/mover.h"
+#include "models/models.h"
+#include "nn/conv2d.h"
+#include "nn/depthwise_conv2d.h"
+#include "nn/dense.h"
+#include "nn/simple_layers.h"
+#include "tensor/ops.h"
+
+namespace stepping {
+namespace {
+
+IOSpec image_spec(int c, int h, int w) {
+  IOSpec s;
+  s.units = c;
+  s.h = h;
+  s.w = w;
+  s.assignment = std::make_shared<Assignment>(static_cast<std::size_t>(c), 1);
+  return s;
+}
+
+/// Direct per-channel convolution reference.
+Tensor ref_depthwise(const Tensor& x, const Tensor& w, const Tensor& b, int k,
+                     int pad) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), ww = x.dim(3);
+  Tensor y({n, c, h, ww});
+  for (int i = 0; i < n; ++i) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int oy = 0; oy < h; ++oy) {
+        for (int ox = 0; ox < ww; ++ox) {
+          double acc = b[ch];
+          for (int ky = 0; ky < k; ++ky) {
+            for (int kx = 0; kx < k; ++kx) {
+              const int iy = oy + ky - pad, ix = ox + kx - pad;
+              if (iy < 0 || iy >= h || ix < 0 || ix >= ww) continue;
+              acc += static_cast<double>(w.at(ch, ky * k + kx)) *
+                     x.at(i, ch, iy, ix);
+            }
+          }
+          y.at(i, ch, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+TEST(Depthwise, ForwardMatchesDirectReference) {
+  DepthwiseConv2d dw("dw", 3);
+  Rng rng(1);
+  dw.wire(image_spec(4, 6, 6), rng);
+  Tensor x({2, 4, 6, 6});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  SubnetContext ctx;
+  const Tensor y = dw.forward(x, ctx);
+  const Tensor ref = ref_depthwise(x, dw.weight().value, dw.bias().value, 3, 1);
+  ASSERT_EQ(y.shape(), ref.shape());
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_NEAR(y[i], ref[i], 1e-4f);
+}
+
+TEST(Depthwise, WeightAndInputGradientsMatchNumeric) {
+  DepthwiseConv2d dw("dw", 3);
+  Rng rng(2);
+  dw.wire(image_spec(3, 5, 5), rng);
+  Tensor x({2, 3, 5, 5}), r({2, 3, 5, 5});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  fill_normal(r, 0.0f, 1.0f, rng);
+  SubnetContext ctx;
+  ctx.training = true;
+
+  auto loss_of = [&](const Tensor& xx) {
+    const Tensor y = dw.forward(xx, ctx);
+    double s = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) s += static_cast<double>(y[i]) * r[i];
+    return s;
+  };
+
+  dw.weight().zero_grad();
+  dw.bias().zero_grad();
+  dw.forward(x, ctx);
+  const Tensor gx = dw.backward(r, ctx);
+
+  const float eps = 1e-2f;
+  // Weight gradients.
+  for (std::int64_t i = 0; i < dw.weight().value.numel(); i += 5) {
+    const float saved = dw.weight().value[i];
+    dw.weight().value[i] = saved + eps;
+    const double lp = loss_of(x);
+    dw.weight().value[i] = saved - eps;
+    const double lm = loss_of(x);
+    dw.weight().value[i] = saved;
+    EXPECT_NEAR(dw.weight().grad[i], (lp - lm) / (2.0 * eps), 2e-2)
+        << "weight " << i;
+  }
+  // Input gradients.
+  for (std::int64_t i = 0; i < x.numel(); i += 17) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    EXPECT_NEAR(gx[i], (loss_of(xp) - loss_of(xm)) / (2.0 * eps), 2e-2)
+        << "input " << i;
+  }
+}
+
+TEST(Depthwise, SharesProducerAssignment) {
+  Conv2d c1("c1", 4, 3);
+  DepthwiseConv2d dw("dw", 3);
+  Rng rng(3);
+  const IOSpec mid = c1.wire(image_spec(1, 6, 6), rng);
+  dw.wire(mid, rng);
+  c1.set_unit_subnet(2, 3);
+  // Depthwise mirrors the producer's assignment (shared storage).
+  EXPECT_EQ(dw.unit_subnet()[2], 3);
+  EXPECT_FALSE(dw.units_movable());
+}
+
+TEST(Depthwise, InactiveChannelsZero) {
+  Conv2d c1("c1", 3, 3);
+  DepthwiseConv2d dw("dw", 3);
+  Rng rng(4);
+  const IOSpec mid = c1.wire(image_spec(1, 4, 4), rng);
+  dw.wire(mid, rng);
+  c1.set_unit_subnet(1, 2);
+  Tensor x({1, 1, 4, 4});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  SubnetContext ctx;
+  ctx.subnet_id = 1;
+  const Tensor y = dw.forward(c1.forward(x, ctx), ctx);
+  for (int h = 0; h < 4; ++h) {
+    for (int w = 0; w < 4; ++w) EXPECT_EQ(y.at(0, 1, h, w), 0.0f);
+  }
+}
+
+TEST(Depthwise, MacsCountOnlyActiveChannels) {
+  Conv2d c1("c1", 4, 3);
+  DepthwiseConv2d dw("dw", 3);
+  Rng rng(5);
+  const IOSpec mid = c1.wire(image_spec(1, 8, 8), rng);
+  dw.wire(mid, rng);
+  EXPECT_EQ(dw.subnet_macs(1), 4 * 9 * 64);
+  c1.set_unit_subnet(0, 2);  // dw unit 0 follows implicitly
+  EXPECT_EQ(dw.subnet_macs(1), 3 * 9 * 64);
+  EXPECT_EQ(dw.subnet_macs(2), 4 * 9 * 64);
+}
+
+TEST(Depthwise, MobilenetSmallForwardAndStructure) {
+  ModelConfig mc{.classes = 10, .expansion = 1.0, .width_mult = 0.5};
+  Network net = build_mobilenet_small(mc);
+  Tensor x({2, 3, 32, 32});
+  Rng rng(6);
+  fill_normal(x, 0.0f, 1.0f, rng);
+  SubnetContext ctx;
+  EXPECT_EQ(net.forward(x, ctx).shape(), (std::vector<int>{2, 10}));
+  // stem + 3x(dw + pw) + head = 8 masked layers.
+  EXPECT_EQ(net.masked_layers().size(), 8u);
+}
+
+TEST(Depthwise, MobilenetTrainsAboveChance) {
+  ModelConfig mc{.classes = 3, .expansion = 1.0, .width_mult = 0.5};
+  Network net = build_mobilenet_small(mc);
+  Rng rng(7);
+  Tensor x({12, 3, 32, 32});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  std::vector<int> y(12);
+  for (int i = 0; i < 12; ++i) y[static_cast<std::size_t>(i)] = i % 3;
+  Sgd sgd({.lr = 0.05, .momentum = 0.9, .weight_decay = 0.0});
+  SubnetContext ctx;
+  ctx.training = true;
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 40; ++step) {
+    const BatchStats s = train_batch(net, sgd, x, y, ctx);
+    if (step == 0) first = s.loss;
+    last = s.loss;
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(Depthwise, IncrementalStepUpBitExactWithDepthwise) {
+  ModelConfig mc{.classes = 10, .expansion = 1.0, .width_mult = 0.5};
+  Network net = build_mobilenet_small(mc);
+  // Scatter pointwise/stem units (depthwise follows producers).
+  Rng rng(8);
+  for (MaskedLayer* m : net.body_layers()) {
+    if (!m->units_movable()) continue;
+    for (int u = 1; u < m->num_units(); ++u) {
+      m->set_unit_subnet(u, rng.uniform_int(1, 3));
+    }
+  }
+  Tensor x({1, 3, 32, 32});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  IncrementalExecutor ex(net);
+  for (int sub = 1; sub <= 3; ++sub) {
+    const Tensor inc = ex.run(x, sub);
+    SubnetContext ctx;
+    ctx.subnet_id = sub;
+    const Tensor direct = net.forward(x, ctx);
+    for (std::int64_t i = 0; i < inc.numel(); ++i) {
+      ASSERT_EQ(inc[i], direct[i]) << "subnet " << sub;
+    }
+  }
+}
+
+TEST(Depthwise, MoverSkipsDepthwiseUnits) {
+  ModelConfig mc{.classes = 10, .expansion = 1.5, .width_mult = 0.5};
+  Network net = build_mobilenet_small(mc);
+  net.reset_importance(2);
+  SteppingConfig cfg;
+  cfg.num_subnets = 2;
+  cfg.mac_budget_frac = {0.1, 0.6};
+  cfg.reference_macs = full_macs(net);
+  // Without importance data all scores are 0; a move step must still never
+  // list depthwise units as candidates (they only move with producers).
+  move_step(net, cfg, full_macs(net) / 10);
+  for (MaskedLayer* m : net.body_layers()) {
+    if (m->units_movable()) continue;
+    // Depthwise assignments always equal their producer's.
+    EXPECT_EQ(&m->unit_subnet(), &m->in_subnet());
+  }
+}
+
+}  // namespace
+}  // namespace stepping

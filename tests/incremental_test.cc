@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/incremental.h"
+#include "core/macs.h"
+#include "models/models.h"
+#include "tensor/ops.h"
+
+namespace stepping {
+namespace {
+
+/// A network with a hand-built nested structure across 3 subnets.
+Network nested_net() {
+  ModelConfig mc{.classes = 10, .expansion = 1.5, .width_mult = 0.15};
+  Network net = build_lenet3c1l(mc);
+  Rng rng(11);
+  for (MaskedLayer* m : net.body_layers()) {
+    for (int u = 0; u < m->num_units(); ++u) {
+      m->set_unit_subnet(u, 1 + (u % 3));
+    }
+  }
+  return net;
+}
+
+Tensor random_input(int n, Rng& rng) {
+  Tensor x({n, 3, 32, 32});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  return x;
+}
+
+TEST(Incremental, StepUpBitIdenticalToFromScratch) {
+  Network net = nested_net();
+  Rng rng(1);
+  const Tensor x = random_input(4, rng);
+  IncrementalExecutor ex(net);
+  ex.run(x, 1);
+  ex.run(x, 2);
+  const Tensor inc = ex.run(x, 3);
+
+  SubnetContext ctx;
+  ctx.subnet_id = 3;
+  const Tensor scratch = net.forward(x, ctx);
+  ASSERT_EQ(inc.shape(), scratch.shape());
+  for (std::int64_t i = 0; i < inc.numel(); ++i) {
+    EXPECT_EQ(inc[i], scratch[i]) << "logit index " << i;
+  }
+}
+
+TEST(Incremental, EverySubnetLevelMatchesDirectEvaluation) {
+  Network net = nested_net();
+  Rng rng(2);
+  const Tensor x = random_input(2, rng);
+  IncrementalExecutor ex(net);
+  for (int sub = 1; sub <= 3; ++sub) {
+    const Tensor inc = ex.run(x, sub);
+    SubnetContext ctx;
+    ctx.subnet_id = sub;
+    const Tensor direct = net.forward(x, ctx);
+    for (std::int64_t i = 0; i < inc.numel(); ++i) {
+      EXPECT_EQ(inc[i], direct[i]) << "subnet " << sub << " logit " << i;
+    }
+  }
+}
+
+TEST(Incremental, StepMacsLessThanFullMacs) {
+  Network net = nested_net();
+  Rng rng(3);
+  const Tensor x = random_input(1, rng);
+  IncrementalExecutor ex(net);
+  ex.run(x, 1);
+  ex.run(x, 3);
+  EXPECT_LT(ex.last_step_macs(), ex.last_full_macs());
+  EXPECT_GT(ex.last_step_macs(), 0);
+}
+
+TEST(Incremental, CumulativeStepMacsMatchSubnetMacsPlusHeadRecomputes) {
+  Network net = nested_net();
+  Rng rng(4);
+  const Tensor x = random_input(1, rng);
+  IncrementalExecutor ex(net);
+  std::int64_t cumulative = 0;
+  for (int sub = 1; sub <= 3; ++sub) {
+    ex.run(x, sub);
+    cumulative += ex.last_step_macs();
+  }
+  // Stepping 1->2->3 recomputes only the head at each level; body units are
+  // computed exactly once.
+  auto* head = net.masked_layers().back();
+  const std::int64_t head_extra =
+      head->subnet_macs(1) + head->subnet_macs(2);
+  EXPECT_EQ(cumulative, subnet_macs(net, 3) + head_extra);
+}
+
+TEST(Incremental, FirstRunMacsEqualSubnetMacs) {
+  Network net = nested_net();
+  Rng rng(5);
+  const Tensor x = random_input(1, rng);
+  IncrementalExecutor ex(net);
+  ex.run(x, 2);
+  EXPECT_EQ(ex.last_step_macs(), subnet_macs(net, 2));
+  EXPECT_EQ(ex.last_full_macs(), subnet_macs(net, 2));
+}
+
+TEST(Incremental, NewInputResetsCache) {
+  Network net = nested_net();
+  Rng rng(6);
+  const Tensor x1 = random_input(1, rng);
+  const Tensor x2 = random_input(1, rng);
+  IncrementalExecutor ex(net);
+  ex.run(x1, 2);
+  EXPECT_EQ(ex.cached_subnet(), 2);
+  const Tensor y = ex.run(x2, 2);  // different input: transparent reset
+  SubnetContext ctx;
+  ctx.subnet_id = 2;
+  const Tensor direct = net.forward(x2, ctx);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], direct[i]);
+}
+
+TEST(Incremental, StepDownMatchesDirectEvaluation) {
+  Network net = nested_net();
+  Rng rng(7);
+  const Tensor x = random_input(1, rng);
+  IncrementalExecutor ex(net);
+  ex.run(x, 3);
+  const Tensor y1 = ex.run(x, 1);  // step DOWN: masked reuse + head recompute
+  SubnetContext ctx;
+  ctx.subnet_id = 1;
+  const Tensor direct = net.forward(x, ctx);
+  for (std::int64_t i = 0; i < y1.numel(); ++i) EXPECT_EQ(y1[i], direct[i]);
+}
+
+TEST(Incremental, StepDownCostsOnlyTheHead) {
+  // Paper §II: dynamic subnet REDUCTION also reuses the larger subnet's
+  // intermediate results — only the classifier must be re-evaluated.
+  Network net = nested_net();
+  Rng rng(17);
+  const Tensor x = random_input(2, rng);
+  IncrementalExecutor ex(net);
+  ex.run(x, 3);
+  ex.run(x, 2);
+  auto* head = net.masked_layers().back();
+  EXPECT_EQ(ex.last_step_macs(), head->subnet_macs(2));
+  EXPECT_EQ(ex.cached_subnet(), 2);
+}
+
+TEST(Incremental, StepDownThenUpStaysBitExact) {
+  // Oscillating budgets: 1 -> 3 -> 1 -> 2 must all match direct evaluation.
+  Network net = nested_net();
+  Rng rng(19);
+  const Tensor x = random_input(1, rng);
+  IncrementalExecutor ex(net);
+  for (const int sub : {1, 3, 1, 2, 3, 2}) {
+    const Tensor y = ex.run(x, sub);
+    SubnetContext ctx;
+    ctx.subnet_id = sub;
+    const Tensor direct = net.forward(x, ctx);
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+      ASSERT_EQ(y[i], direct[i]) << "subnet " << sub;
+    }
+  }
+}
+
+TEST(Incremental, RepeatedRunSameSubnetOnlyRecomputesHead) {
+  Network net = nested_net();
+  Rng rng(8);
+  const Tensor x = random_input(1, rng);
+  IncrementalExecutor ex(net);
+  ex.run(x, 2);
+  ex.run(x, 2);
+  auto* head = net.masked_layers().back();
+  EXPECT_EQ(ex.last_step_macs(), head->subnet_macs(2));
+}
+
+}  // namespace
+}  // namespace stepping

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/incremental.h"
+#include "core/macs.h"
+#include "core/stepping_net.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+
+namespace stepping {
+namespace {
+
+/// One miniature end-to-end pipeline, shared across assertions.
+struct Pipeline {
+  DataSplit data;
+  SteppingConfig cfg;
+  std::unique_ptr<SteppingNet> sn;
+  ConstructionReport report;
+};
+
+Pipeline& pipeline() {
+  static Pipeline* p = [] {
+    auto* px = new Pipeline();
+    px->data = make_synthetic(
+        synth_cifar10(/*train_per_class=*/40, /*test_per_class=*/15));
+
+    ModelConfig ref{.classes = 10, .expansion = 1.0, .width_mult = 0.15};
+    Network reference = build_lenet3c1l(ref);
+    ModelConfig mc = ref;
+    mc.expansion = 1.8;
+    Network net = build_lenet3c1l(mc);
+
+    px->cfg.num_subnets = 3;
+    px->cfg.mac_budget_frac = {0.12, 0.45, 0.85};
+    px->cfg.reference_macs = full_macs(reference);
+    px->cfg.batches_per_iter = 3;
+    px->cfg.max_iters = 40;
+
+    px->sn = std::make_unique<SteppingNet>(std::move(net), px->cfg);
+    px->sn->pretrain(px->data.train, /*epochs=*/4, /*batch_size=*/20);
+    px->report = px->sn->construct(px->data.train, /*batch_size=*/20);
+    px->sn->distill(px->data.train, /*epochs=*/3, /*batch_size=*/20);
+    return px;
+  }();
+  return *p;
+}
+
+TEST(Integration, ConstructionMeetsBudgets) {
+  auto& p = pipeline();
+  EXPECT_TRUE(p.report.budgets_met);
+}
+
+TEST(Integration, AccuracyAboveChanceForAllSubnets) {
+  auto& p = pipeline();
+  for (int i = 1; i <= p.cfg.num_subnets; ++i) {
+    EXPECT_GT(p.sn->accuracy(p.data.test, i), 0.2) << "subnet " << i;
+  }
+}
+
+TEST(Integration, AccuracyLadderRoughlyMonotone) {
+  // Paper Table I: accuracy grows with MACs (tiny nets can jitter; allow a
+  // small tolerance on each rung).
+  auto& p = pipeline();
+  double prev = 0.0;
+  for (int i = 1; i <= p.cfg.num_subnets; ++i) {
+    const double acc = p.sn->accuracy(p.data.test, i);
+    EXPECT_GE(acc, prev - 0.08) << "subnet " << i;
+    prev = std::max(prev, acc);
+  }
+}
+
+TEST(Integration, MacFractionsMatchReport) {
+  auto& p = pipeline();
+  for (int i = 1; i <= p.cfg.num_subnets; ++i) {
+    EXPECT_NEAR(p.sn->mac_fraction(i),
+                p.report.subnet_mac_frac[static_cast<std::size_t>(i - 1)], 1e-9);
+  }
+}
+
+TEST(Integration, LargestSubnetNearTeacherAccuracy) {
+  auto& p = pipeline();
+  // The paper reports the largest subnet within a few points of the original
+  // network; at this tiny scale allow a wide but meaningful margin.
+  const double teacher_acc = p.sn->accuracy(p.data.test, p.cfg.num_subnets + 1);
+  const double largest = p.sn->accuracy(p.data.test, p.cfg.num_subnets);
+  EXPECT_GT(largest, teacher_acc - 0.15);
+}
+
+TEST(Integration, IncrementalExecutorConsistentAfterFullPipeline) {
+  auto& p = pipeline();
+  Tensor x;
+  std::vector<int> y;
+  p.data.test.batch(0, 4, x, y);
+  IncrementalExecutor ex(p.sn->network());
+  for (int i = 1; i <= p.cfg.num_subnets; ++i) {
+    const Tensor inc = ex.run(x, i);
+    const Tensor direct = p.sn->predict(x, i);
+    ASSERT_EQ(inc.shape(), direct.shape());
+    for (std::int64_t j = 0; j < inc.numel(); ++j) {
+      ASSERT_EQ(inc[j], direct[j]) << "subnet " << i;
+    }
+  }
+}
+
+TEST(Integration, PredictArgmaxMatchesAccuracyAccounting) {
+  auto& p = pipeline();
+  Tensor x;
+  std::vector<int> y;
+  p.data.test.batch(0, 16, x, y);
+  const Tensor logits = p.sn->predict(x, p.cfg.num_subnets);
+  int correct = 0;
+  for (int i = 0; i < 16; ++i) {
+    int best = 0;
+    for (int c = 1; c < 10; ++c) {
+      if (logits.at(i, c) > logits.at(i, best)) best = c;
+    }
+    if (best == y[static_cast<std::size_t>(i)]) ++correct;
+  }
+  EXPECT_GE(correct, 0);  // smoke: accounting runs without contradiction
+  EXPECT_LE(correct, 16);
+}
+
+TEST(Integration, ThrowsWithoutPretrainBeforeDistill) {
+  ModelConfig mc{.classes = 10, .expansion = 1.0, .width_mult = 0.1};
+  Network net = build_lenet3c1l(mc);
+  SteppingConfig cfg;
+  cfg.num_subnets = 2;
+  cfg.mac_budget_frac = {0.3, 0.8};
+  SteppingNet sn(std::move(net), cfg);
+  const DataSplit tiny =
+      make_synthetic(synth_cifar10(/*train_per_class=*/2, /*test_per_class=*/1));
+  EXPECT_THROW(sn.distill(tiny.train, 1), std::logic_error);
+}
+
+TEST(Integration, ConfigValidationRejectsBadBudgetCount) {
+  ModelConfig mc{.classes = 10, .expansion = 1.0, .width_mult = 0.1};
+  Network net = build_lenet3c1l(mc);
+  SteppingConfig cfg;
+  cfg.num_subnets = 3;
+  cfg.mac_budget_frac = {0.3, 0.8};  // wrong arity
+  EXPECT_THROW(SteppingNet(std::move(net), cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stepping

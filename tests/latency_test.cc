@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "baselines/any_width.h"
+#include "core/latency.h"
+#include "core/macs.h"
+#include "models/models.h"
+
+namespace stepping {
+namespace {
+
+Network nested_net() {
+  ModelConfig mc{.classes = 10, .expansion = 1.5, .width_mult = 0.15};
+  Network net = build_lenet3c1l(mc);
+  const std::int64_t full = full_macs(net);
+  std::vector<std::int64_t> budgets = {full / 8, full / 3, (2 * full) / 3};
+  assign_prefix_subnets(net, solve_prefix_fractions(net, budgets));
+  return net;
+}
+
+TEST(Latency, ModelIsAffineInMacs) {
+  DeviceModel dev{"test", 1e9, 1.0};
+  EXPECT_DOUBLE_EQ(dev.latency_ms(0), 1.0);
+  EXPECT_DOUBLE_EQ(dev.latency_ms(1'000'000), 2.0);
+  EXPECT_DOUBLE_EQ(dev.latency_ms(2'000'000), 3.0);
+}
+
+TEST(Latency, PresetsOrderedByThroughput) {
+  EXPECT_LT(device_mcu().macs_per_second, device_mobile_cpu().macs_per_second);
+  EXPECT_LT(device_mobile_cpu().macs_per_second,
+            device_mobile_npu().macs_per_second);
+}
+
+TEST(Latency, SubnetLatenciesMonotone) {
+  Network net = nested_net();
+  const auto lat = subnet_latencies_ms(net, 3, device_mobile_cpu());
+  ASSERT_EQ(lat.size(), 3u);
+  EXPECT_LT(lat[0], lat[1]);
+  EXPECT_LT(lat[1], lat[2]);
+}
+
+TEST(Latency, LargestSubnetWithinDeadline) {
+  Network net = nested_net();
+  const DeviceModel dev{"test", 1e9, 0.0};
+  const auto lat = subnet_latencies_ms(net, 3, dev);
+  // Deadline exactly between subnet 2 and subnet 3.
+  const double deadline = 0.5 * (lat[1] + lat[2]);
+  EXPECT_EQ(largest_subnet_within(net, 3, dev, deadline), 2);
+  EXPECT_EQ(largest_subnet_within(net, 3, dev, lat[2] + 1.0), 3);
+  // Impossible deadline: even subnet 1 misses.
+  EXPECT_EQ(largest_subnet_within(net, 3, dev, lat[0] * 0.5), 0);
+}
+
+TEST(Latency, BudgetsForLatenciesInvertTheModel) {
+  const DeviceModel dev{"test", 2e9, 0.5};
+  const std::int64_t ref = 10'000'000;
+  const auto budgets = budgets_for_latencies({1.0, 3.0, 5.5}, dev, ref);
+  ASSERT_EQ(budgets.size(), 3u);
+  // target 1.0ms: (1.0 - 0.5)ms * 2e9 MAC/s = 1e6 MACs = 0.1 of ref.
+  EXPECT_NEAR(budgets[0], 0.1, 1e-9);
+  EXPECT_NEAR(budgets[1], 0.5, 1e-9);
+  EXPECT_NEAR(budgets[2], 1.0, 1e-9);
+}
+
+TEST(Latency, BudgetsClampedNonDecreasing) {
+  const DeviceModel dev{"test", 1e9, 0.0};
+  const auto budgets = budgets_for_latencies({5.0, 2.0, 8.0}, dev, 1'000'000);
+  EXPECT_LE(budgets[0], budgets[1]);
+  EXPECT_LE(budgets[1], budgets[2]);
+}
+
+TEST(Latency, CalibrationProducesPositiveThroughput) {
+  Network net = nested_net();
+  const DeviceModel host = calibrate_device(net, /*subnet_id=*/1, /*batch=*/2,
+                                            /*reps=*/1);
+  EXPECT_GT(host.macs_per_second, 0.0);
+  // One CPU core lands somewhere between an MCU and a datacenter GPU.
+  EXPECT_GT(host.macs_per_second, 1e6);
+  EXPECT_LT(host.macs_per_second, 1e13);
+}
+
+}  // namespace
+}  // namespace stepping

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "nn/dense.h"
+#include "nn/simple_layers.h"
+#include "tensor/ops.h"
+
+namespace stepping {
+namespace {
+
+/// A 1x1-image "network" whose head weights are hand-set so predictions are
+/// fully controlled: logit_c = w_c * x where x is the single input pixel.
+struct Rig {
+  Network net;
+  Dataset data;
+};
+
+Rig make_rig() {
+  Rig r;
+  r.net.emplace<Flatten>("flat");
+  r.net.emplace<Dense>("fc", 3);
+  Rng rng(1);
+  r.net.wire(1, 1, 1, rng);
+  auto* fc = r.net.masked_layers().back();
+  // logits = [x, -x, 0.5x]: positive pixel -> class 0; negative -> class 1.
+  fc->weight().value = Tensor({3, 1}, {1.0f, -1.0f, 0.5f});
+  fc->bias().value.zero();
+
+  r.data.num_classes = 3;
+  r.data.images = Tensor({6, 1, 1, 1}, {1, 1, 1, -1, -1, 1});
+  //               predictions:         0  0  0   1   1  0
+  r.data.labels = {0, 0, 1, 1, 2, 2};
+  return r;
+}
+
+TEST(Metrics, Top1CountsMatchHandComputation) {
+  Rig r = make_rig();
+  const EvaluationMetrics m = evaluate_metrics(r.net, r.data, 1, /*k=*/1);
+  // Correct: samples 0, 1 (class 0), sample 3 (class 1) = 3 of 6.
+  EXPECT_EQ(m.total, 6);
+  EXPECT_EQ(m.top1_correct, 3);
+  EXPECT_DOUBLE_EQ(m.top1_accuracy(), 0.5);
+}
+
+TEST(Metrics, ConfusionMatrixRowsSumToSupport) {
+  Rig r = make_rig();
+  const EvaluationMetrics m = evaluate_metrics(r.net, r.data, 1);
+  for (int t = 0; t < 3; ++t) {
+    int row_sum = 0;
+    for (int p = 0; p < 3; ++p) row_sum += m.confusion[static_cast<std::size_t>(t) * 3 + p];
+    EXPECT_EQ(row_sum, m.per_class[static_cast<std::size_t>(t)].support);
+  }
+  // Specific cells: true 2 predicted 1 once (sample 4), predicted 0 once.
+  EXPECT_EQ(m.confusion[2 * 3 + 1], 1);
+  EXPECT_EQ(m.confusion[2 * 3 + 0], 1);
+}
+
+TEST(Metrics, PerClassPrecisionRecall) {
+  Rig r = make_rig();
+  const EvaluationMetrics m = evaluate_metrics(r.net, r.data, 1);
+  // Class 0: predicted 4x (samples 0,1,2,5), correct 2x -> precision 0.5;
+  // support 2, TP 2 -> recall 1.0.
+  EXPECT_DOUBLE_EQ(m.per_class[0].precision(), 0.5);
+  EXPECT_DOUBLE_EQ(m.per_class[0].recall(), 1.0);
+  // Class 2: never predicted -> precision 0, recall 0, f1 0.
+  EXPECT_DOUBLE_EQ(m.per_class[2].precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.per_class[2].f1(), 0.0);
+}
+
+TEST(Metrics, TopKGreaterOrEqualTop1) {
+  Rig r = make_rig();
+  const EvaluationMetrics m1 = evaluate_metrics(r.net, r.data, 1, /*k=*/1);
+  const EvaluationMetrics m2 = evaluate_metrics(r.net, r.data, 1, /*k=*/2);
+  const EvaluationMetrics m3 = evaluate_metrics(r.net, r.data, 1, /*k=*/3);
+  EXPECT_GE(m2.topk_correct, m1.top1_correct);
+  EXPECT_GE(m3.topk_correct, m2.topk_correct);
+  EXPECT_EQ(m3.topk_correct, 6);  // k == classes: always a hit
+}
+
+TEST(Metrics, KClampedToNumClasses) {
+  Rig r = make_rig();
+  const EvaluationMetrics m = evaluate_metrics(r.net, r.data, 1, /*k=*/50);
+  EXPECT_EQ(m.k, 3);
+}
+
+TEST(Metrics, MacroF1AveragesClasses) {
+  Rig r = make_rig();
+  const EvaluationMetrics m = evaluate_metrics(r.net, r.data, 1);
+  double expect = 0.0;
+  for (const auto& c : m.per_class) expect += c.f1();
+  expect /= 3.0;
+  EXPECT_DOUBLE_EQ(m.macro_f1(), expect);
+  EXPECT_GT(m.macro_f1(), 0.0);
+  EXPECT_LT(m.macro_f1(), 1.0);
+}
+
+}  // namespace
+}  // namespace stepping

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/macs.h"
+#include "models/models.h"
+#include "tensor/ops.h"
+
+namespace stepping {
+namespace {
+
+ModelConfig small_cfg(double expansion = 1.0) {
+  ModelConfig cfg;
+  cfg.classes = 10;
+  cfg.expansion = expansion;
+  cfg.width_mult = 0.2;
+  return cfg;
+}
+
+TEST(Models, LeNet3c1lForwardShape) {
+  Network net = build_lenet3c1l(small_cfg());
+  Tensor x({2, 3, 32, 32});
+  Rng rng(1);
+  fill_normal(x, 0.0f, 1.0f, rng);
+  SubnetContext ctx;
+  EXPECT_EQ(net.forward(x, ctx).shape(), (std::vector<int>{2, 10}));
+  // 3 conv + 1 FC = 4 masked layers; the FC is the head.
+  EXPECT_EQ(net.masked_layers().size(), 4u);
+  EXPECT_EQ(net.body_layers().size(), 3u);
+}
+
+TEST(Models, LeNet5ForwardShape) {
+  Network net = build_lenet5(small_cfg());
+  Tensor x({2, 3, 32, 32});
+  Rng rng(2);
+  fill_normal(x, 0.0f, 1.0f, rng);
+  SubnetContext ctx;
+  EXPECT_EQ(net.forward(x, ctx).shape(), (std::vector<int>{2, 10}));
+  // 2 conv + 3 FC = 5 masked layers.
+  EXPECT_EQ(net.masked_layers().size(), 5u);
+}
+
+TEST(Models, Vgg16ForwardShapeAndDepth) {
+  ModelConfig cfg = small_cfg();
+  cfg.width_mult = 0.05;  // keep the test fast
+  Network net = build_vgg16(cfg);
+  Tensor x({1, 3, 32, 32});
+  Rng rng(3);
+  fill_normal(x, 0.0f, 1.0f, rng);
+  SubnetContext ctx;
+  EXPECT_EQ(net.forward(x, ctx).shape(), (std::vector<int>{1, 10}));
+  // 13 conv + 1 FC = 14 masked layers.
+  EXPECT_EQ(net.masked_layers().size(), 14u);
+}
+
+TEST(Models, ExpansionScalesMacsQuadratically) {
+  Network n1 = build_lenet3c1l(small_cfg(1.0));
+  Network n2 = build_lenet3c1l(small_cfg(2.0));
+  const double ratio = static_cast<double>(full_macs(n2)) /
+                       static_cast<double>(full_macs(n1));
+  // First layer scales linearly (fixed 3 input channels), interior layers
+  // quadratically; the overall ratio sits in between.
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(Models, DispatchByName) {
+  EXPECT_NO_THROW(build_model("lenet5", small_cfg()));
+  EXPECT_THROW(build_model("resnet50", small_cfg()), std::invalid_argument);
+}
+
+TEST(Models, Cifar100HeadWidth) {
+  ModelConfig cfg = small_cfg();
+  cfg.classes = 100;
+  Network net = build_lenet5(cfg);
+  EXPECT_EQ(net.num_classes(), 100);
+}
+
+TEST(Models, AllUnitsStartInSubnet1) {
+  Network net = build_lenet3c1l(small_cfg(1.8));
+  for (MaskedLayer* m : net.body_layers()) {
+    for (const int s : m->unit_subnet()) EXPECT_EQ(s, 1);
+  }
+}
+
+TEST(Models, DeterministicInitializationGivenSeed) {
+  Network a = build_lenet5(small_cfg());
+  Network b = build_lenet5(small_cfg());
+  const auto wa = a.masked_layers()[0]->weight().value;
+  const auto wb = b.masked_layers()[0]->weight().value;
+  for (std::int64_t i = 0; i < wa.numel(); ++i) EXPECT_EQ(wa[i], wb[i]);
+}
+
+}  // namespace
+}  // namespace stepping

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "core/macs.h"
+#include "core/report.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/simple_layers.h"
+
+namespace stepping {
+namespace {
+
+Network small_net() {
+  Network net;
+  net.emplace<Conv2d>("c1", 4, 3);
+  net.emplace<Flatten>("flat");
+  net.emplace<Dense>("fc", 2);
+  Rng rng(1);
+  net.wire(1, 6, 6, rng);
+  return net;
+}
+
+TEST(Report, CountsUnitsPerSubnet) {
+  Network net = small_net();
+  auto* c1 = net.body_layers()[0];
+  c1->set_unit_subnet(0, 1);
+  c1->set_unit_subnet(1, 2);
+  c1->set_unit_subnet(2, 2);
+  c1->set_unit_subnet(3, 3);  // discard pool for num_subnets = 2
+  const NetworkReport r = build_report(net, 2);
+  ASSERT_EQ(r.layers.size(), 2u);
+  const LayerReport& lr = r.layers[0];
+  EXPECT_EQ(lr.name, "c1");
+  ASSERT_EQ(lr.units_per_subnet.size(), 3u);
+  EXPECT_EQ(lr.units_per_subnet[0], 1);
+  EXPECT_EQ(lr.units_per_subnet[1], 2);
+  EXPECT_EQ(lr.units_per_subnet[2], 1);
+}
+
+TEST(Report, MacsMatchCounter) {
+  Network net = small_net();
+  net.body_layers()[0]->set_unit_subnet(2, 2);
+  const NetworkReport r = build_report(net, 2);
+  EXPECT_EQ(r.total_macs_per_subnet[0], subnet_macs(net, 1));
+  EXPECT_EQ(r.total_macs_per_subnet[1], subnet_macs(net, 2));
+}
+
+TEST(Report, MarksHead) {
+  Network net = small_net();
+  const NetworkReport r = build_report(net, 2);
+  EXPECT_FALSE(r.layers[0].is_head);
+  EXPECT_TRUE(r.layers[1].is_head);
+}
+
+TEST(Report, PrunedFractionReflected) {
+  Network net = small_net();
+  net.body_layers()[0]->apply_magnitude_prune(1e9f);
+  const NetworkReport r = build_report(net, 1);
+  EXPECT_DOUBLE_EQ(r.layers[0].pruned_fraction, 1.0);
+  EXPECT_LT(r.layers[1].pruned_fraction, 1.0);
+}
+
+TEST(Report, RendersTextWithTotals) {
+  Network net = small_net();
+  const std::string s = build_report(net, 2).to_string();
+  EXPECT_NE(s.find("c1"), std::string::npos);
+  EXPECT_NE(s.find("fc (head)"), std::string::npos);
+  EXPECT_NE(s.find("TOTAL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stepping

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/serialize.h"
+#include "models/models.h"
+#include "tensor/ops.h"
+
+namespace stepping {
+namespace {
+
+Network make_net(std::uint64_t seed = 7) {
+  ModelConfig mc{.classes = 10, .expansion = 1.5, .width_mult = 0.15,
+                 .seed = seed};
+  return build_lenet3c1l(mc);
+}
+
+/// Give the network a non-trivial state: assignments, pruning, BN stats.
+void scramble(Network& net) {
+  Rng rng(3);
+  for (MaskedLayer* m : net.body_layers()) {
+    for (int u = 0; u < m->num_units(); ++u) {
+      m->set_unit_subnet(u, rng.uniform_int(1, 4));
+    }
+    m->apply_magnitude_prune(0.03f);
+  }
+  // Touch BN running statistics via a training forward.
+  Tensor x({4, 3, 32, 32});
+  fill_normal(x, 0.5f, 1.0f, rng);
+  SubnetContext ctx;
+  ctx.subnet_id = 4;
+  ctx.training = true;
+  net.forward(x, ctx);
+}
+
+TEST(Serialize, RoundTripBitExactLogits) {
+  Network a = make_net(7);
+  scramble(a);
+  std::stringstream buf;
+  ASSERT_TRUE(save_network(a, buf));
+
+  Network b = make_net(99);  // different init; same topology
+  ASSERT_TRUE(load_network(b, buf));
+
+  Rng rng(5);
+  Tensor x({2, 3, 32, 32});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  for (int sub = 1; sub <= 3; ++sub) {
+    SubnetContext ctx;
+    ctx.subnet_id = sub;
+    const Tensor ya = a.forward(x, ctx);
+    const Tensor yb = b.forward(x, ctx);
+    for (std::int64_t i = 0; i < ya.numel(); ++i) {
+      ASSERT_EQ(ya[i], yb[i]) << "subnet " << sub;
+    }
+  }
+}
+
+TEST(Serialize, RestoresAssignmentsAndMasks) {
+  Network a = make_net(1);
+  scramble(a);
+  std::stringstream buf;
+  ASSERT_TRUE(save_network(a, buf));
+  Network b = make_net(2);
+  ASSERT_TRUE(load_network(b, buf));
+
+  const auto ma = a.body_layers();
+  const auto mb = b.body_layers();
+  ASSERT_EQ(ma.size(), mb.size());
+  for (std::size_t i = 0; i < ma.size(); ++i) {
+    EXPECT_EQ(ma[i]->unit_subnet(), mb[i]->unit_subnet());
+    EXPECT_EQ(ma[i]->prune_mask(), mb[i]->prune_mask());
+  }
+}
+
+TEST(Serialize, RejectsGarbageMagic) {
+  Network b = make_net();
+  std::stringstream buf;
+  buf << "definitely not a steppingnet file, padded to be long enough......";
+  EXPECT_THROW(load_network(b, buf), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTopologyMismatch) {
+  Network a = make_net();
+  std::stringstream buf;
+  ASSERT_TRUE(save_network(a, buf));
+  ModelConfig other{.classes = 10, .expansion = 1.5, .width_mult = 0.15};
+  Network b = build_lenet5(other);  // different architecture
+  EXPECT_THROW(load_network(b, buf), std::runtime_error);
+}
+
+TEST(Serialize, RejectsDifferentWidth) {
+  Network a = make_net();
+  std::stringstream buf;
+  ASSERT_TRUE(save_network(a, buf));
+  ModelConfig wide{.classes = 10, .expansion = 1.5, .width_mult = 0.3};
+  Network b = build_lenet3c1l(wide);
+  EXPECT_THROW(load_network(b, buf), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Network a = make_net(11);
+  scramble(a);
+  const std::string path = ::testing::TempDir() + "/stepping_net_test.bin";
+  ASSERT_TRUE(save_network(a, path));
+  Network b = make_net(12);
+  ASSERT_TRUE(load_network(b, path));
+  Rng rng(6);
+  Tensor x({1, 3, 32, 32});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  SubnetContext ctx;
+  ctx.subnet_id = 2;
+  const Tensor ya = a.forward(x, ctx);
+  const Tensor yb = b.forward(x, ctx);
+  for (std::int64_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(Serialize, MissingFileReturnsFalse) {
+  Network b = make_net();
+  EXPECT_FALSE(load_network(b, "/nonexistent/path/model.bin"));
+  EXPECT_FALSE(save_network(b, "/nonexistent/path/model.bin"));
+}
+
+}  // namespace
+}  // namespace stepping

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/network.h"
+#include "nn/sgd.h"
+#include "nn/simple_layers.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+
+namespace stepping {
+namespace {
+
+Network small_net() {
+  Network net;
+  net.emplace<Conv2d>("c1", 4, 3);
+  net.emplace<BatchNorm2d>("bn1");
+  net.emplace<ReLU>("r1");
+  net.emplace<Flatten>("flat");
+  net.emplace<Dense>("fc", 2);
+  Rng rng(2);
+  net.wire(1, 6, 6, rng);
+  return net;
+}
+
+TEST(Suppression, BodyWeightScaleIsBetaPowKMinusOwner) {
+  Network net = small_net();
+  auto* c1 = net.body_layers()[0];
+  c1->set_unit_subnet(0, 1);
+  c1->set_unit_subnet(1, 2);
+  c1->set_unit_subnet(2, 3);
+  const double beta = 0.9;
+  net.prepare_lr_suppression(3, beta);
+  net.activate_lr_scale(3);
+  const auto* scale = c1->weight().elem_lr_scale;
+  ASSERT_NE(scale, nullptr);
+  const int cols = c1->num_cols();
+  EXPECT_NEAR((*scale)[0 * cols], std::pow(beta, 2), 1e-6);  // owner 1, k=3
+  EXPECT_NEAR((*scale)[1 * cols], beta, 1e-6);               // owner 2
+  EXPECT_NEAR((*scale)[2 * cols], 1.0, 1e-6);                // owner 3
+}
+
+TEST(Suppression, TrainingOwnSubnetIsUnsuppressed) {
+  Network net = small_net();
+  auto* c1 = net.body_layers()[0];
+  c1->set_unit_subnet(1, 2);
+  net.prepare_lr_suppression(3, 0.9);
+  net.activate_lr_scale(2);
+  const auto* scale = c1->weight().elem_lr_scale;
+  EXPECT_NEAR((*scale)[1 * c1->num_cols()], 1.0, 1e-6);
+}
+
+TEST(Suppression, HeadWeightsOwnedByProducerSubnet) {
+  Network net = small_net();
+  auto* c1 = net.body_layers()[0];
+  auto* head = net.masked_layers().back();
+  c1->set_unit_subnet(0, 2);
+  net.prepare_lr_suppression(2, 0.5);
+  net.activate_lr_scale(2);
+  const auto* scale = head->weight().elem_lr_scale;
+  ASSERT_NE(scale, nullptr);
+  const int fpu = head->col_group();
+  // Columns from producer unit 0 (subnet 2, = k): scale 1.
+  EXPECT_NEAR((*scale)[0], 1.0, 1e-6);
+  // Columns from producer unit 1 (subnet 1 < k=2): scale 0.5.
+  EXPECT_NEAR((*scale)[static_cast<std::size_t>(fpu)], 0.5, 1e-6);
+}
+
+TEST(Suppression, BatchNormScalesFollowChannelOwner) {
+  Network net = small_net();
+  auto* c1 = net.body_layers()[0];
+  c1->set_unit_subnet(0, 1);
+  c1->set_unit_subnet(1, 2);
+  net.prepare_lr_suppression(2, 0.9);
+  net.activate_lr_scale(2);
+  BatchNorm2d* bn = nullptr;
+  for (Layer* l : net.layer_ptrs()) {
+    if ((bn = dynamic_cast<BatchNorm2d*>(l)) != nullptr) break;
+  }
+  ASSERT_NE(bn, nullptr);
+  const auto* scale = bn->params()[0]->elem_lr_scale;
+  ASSERT_NE(scale, nullptr);
+  EXPECT_NEAR((*scale)[0], 0.9, 1e-6);
+  EXPECT_NEAR((*scale)[1], 1.0, 1e-6);
+}
+
+TEST(Suppression, DeactivationClearsPointers) {
+  Network net = small_net();
+  net.prepare_lr_suppression(2, 0.9);
+  net.activate_lr_scale(2);
+  net.activate_lr_scale(0);
+  for (Param* p : net.params()) EXPECT_EQ(p->elem_lr_scale, nullptr);
+}
+
+TEST(Suppression, SuppressedWeightsMoveLessUnderTraining) {
+  // Train subnet 2 with beta = 0.01: weights owned by subnet 1 must move far
+  // less than weights owned by subnet 2.
+  Network net = small_net();
+  auto* c1 = net.body_layers()[0];
+  c1->set_unit_subnet(0, 1);
+  c1->set_unit_subnet(1, 2);
+  net.prepare_lr_suppression(2, 0.01);
+  net.activate_lr_scale(2);
+
+  const Tensor w_before = c1->weight().value;
+  Rng rng(4);
+  Tensor x({8, 1, 6, 6});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  std::vector<int> y(8);
+  for (int i = 0; i < 8; ++i) y[static_cast<std::size_t>(i)] = i % 2;
+  Sgd sgd({.lr = 0.1, .momentum = 0.0, .weight_decay = 0.0});
+  SubnetContext ctx;
+  ctx.subnet_id = 2;
+  ctx.num_subnets = 2;
+  ctx.training = true;
+  for (int i = 0; i < 5; ++i) train_batch(net, sgd, x, y, ctx);
+
+  const int cols = c1->num_cols();
+  double delta_owned1 = 0.0, delta_owned2 = 0.0;
+  for (int c = 0; c < cols; ++c) {
+    delta_owned1 += std::fabs(c1->weight().value[0 * cols + c] - w_before[0 * cols + c]);
+    delta_owned2 += std::fabs(c1->weight().value[1 * cols + c] - w_before[1 * cols + c]);
+  }
+  EXPECT_GT(delta_owned2, 10.0 * delta_owned1);
+}
+
+}  // namespace
+}  // namespace stepping

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tensor/tensor.h"
+
+namespace stepping {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(Tensor, ConstructZeroFilled) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ConstructFromData) {
+  Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, ShapeDataMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, NonPositiveExtentThrows) {
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+  EXPECT_THROW(Tensor({-1}), std::invalid_argument);
+}
+
+TEST(Tensor, RowMajor2dIndexing) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 5.0f;
+  EXPECT_EQ(t[5], 5.0f);
+}
+
+TEST(Tensor, Nchw4dIndexing) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[t.numel() - 1], 9.0f);
+  t.at(0, 0, 0, 1) = 2.0f;
+  EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({3});
+  t.fill(2.5f);
+  EXPECT_EQ(t.sum(), 7.5);
+  t.zero();
+  EXPECT_EQ(t.sum(), 0.0);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.rank(), 2);
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r.at(2, 1), 5.0f);
+}
+
+TEST(Tensor, ReshapeNumelMismatchThrows) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, Argmax) {
+  Tensor t({5}, {1.0f, 7.0f, 3.0f, 7.0f, 0.0f});
+  EXPECT_EQ(t.argmax(), 1);  // first on ties
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b = a;
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(Tensor, ShapeStr) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.shape_str(), "[2, 3, 4]");
+}
+
+}  // namespace
+}  // namespace stepping

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/train_loops.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+
+namespace stepping {
+namespace {
+
+struct Fixture {
+  DataSplit data;
+  Network net;
+};
+
+Fixture make_fixture() {
+  Fixture f;
+  f.data = make_synthetic(synth_cifar10(/*train_per_class=*/12, /*test_per_class=*/4));
+  ModelConfig mc{.classes = 10, .expansion = 1.0, .width_mult = 0.15};
+  f.net = build_lenet3c1l(mc);
+  return f;
+}
+
+TEST(TrainLoops, EvaluateUntrainedNearChance) {
+  Fixture f = make_fixture();
+  const double acc = evaluate(f.net, f.data.test, 1);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 0.45);  // untrained: close to 10% chance, generous bound
+}
+
+TEST(TrainLoops, TrainPlainImprovesAccuracy) {
+  Fixture f = make_fixture();
+  const double before = evaluate(f.net, f.data.train, 1);
+  Sgd sgd(SgdConfig{.lr = 0.05});
+  Rng rng(3);
+  const double loss =
+      train_plain(f.net, f.data.train, sgd, 1, /*epochs=*/6, /*batch=*/30, rng);
+  EXPECT_GT(loss, 0.0);
+  const double after = evaluate(f.net, f.data.train, 1);
+  EXPECT_GT(after, before + 0.2);  // memorizes 120 images quickly
+}
+
+TEST(TrainLoops, TeacherProbsValidDistributions) {
+  Fixture f = make_fixture();
+  const Tensor probs = compute_teacher_probs(f.net, f.data.train, 1, /*batch=*/7);
+  ASSERT_EQ(probs.dim(0), f.data.train.size());
+  for (int i = 0; i < probs.dim(0); ++i) {
+    double s = 0.0;
+    for (int j = 0; j < probs.dim(1); ++j) {
+      EXPECT_GE(probs.at(i, j), 0.0f);
+      s += probs.at(i, j);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-4);
+  }
+}
+
+TEST(TrainLoops, TeacherProbsIndependentOfBatchSize) {
+  // Row alignment must not depend on the batching used to compute them.
+  Fixture f = make_fixture();
+  const Tensor a = compute_teacher_probs(f.net, f.data.train, 1, 7);
+  const Tensor b = compute_teacher_probs(f.net, f.data.train, 1, 32);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-5f);
+  }
+}
+
+TEST(TrainLoops, JointTrainTouchesAllSubnets) {
+  Fixture f = make_fixture();
+  // Partition units across 2 subnets.
+  for (MaskedLayer* m : f.net.body_layers()) {
+    for (int u = 0; u < m->num_units(); u += 2) m->set_unit_subnet(u, 2);
+  }
+  f.net.reset_importance(2);  // harvesting contract: accumulators sized first
+  LoaderConfig lc;
+  lc.batch_size = 20;
+  DataLoader loader(f.data.train, lc, Rng(4));
+  Sgd sgd(SgdConfig{.lr = 0.05});
+  const Tensor w_before = f.net.body_layers()[0]->weight().value;
+  const BatchStats s = joint_train_batches(f.net, loader, sgd, /*subnets=*/2,
+                                           /*batches=*/4, /*suppression=*/false,
+                                           /*harvest=*/true);
+  EXPECT_EQ(s.total, 4 * 20);
+  // Weights of both subnets' units changed.
+  auto* layer = f.net.body_layers()[0];
+  const int cols = layer->num_cols();
+  bool s1_changed = false, s2_changed = false;
+  for (int u = 0; u < layer->num_units(); ++u) {
+    for (int c = 0; c < cols; ++c) {
+      if (layer->weight().value[static_cast<std::int64_t>(u) * cols + c] !=
+          w_before[static_cast<std::int64_t>(u) * cols + c]) {
+        (layer->unit_subnet()[static_cast<std::size_t>(u)] == 1 ? s1_changed
+                                                                : s2_changed) = true;
+      }
+    }
+  }
+  EXPECT_TRUE(s1_changed);
+  EXPECT_TRUE(s2_changed);
+  // Importance was harvested for both cost functions.
+  const auto& imp = layer->importance();
+  ASSERT_EQ(imp.size(), 2u);
+  double sum1 = 0.0, sum2 = 0.0;
+  for (const double v : imp[0]) sum1 += v;
+  for (const double v : imp[1]) sum2 += v;
+  EXPECT_GT(sum1, 0.0);
+  EXPECT_GT(sum2, 0.0);
+}
+
+TEST(TrainLoops, JointTrainClearsLrScaleAfterwards) {
+  Fixture f = make_fixture();
+  f.net.prepare_lr_suppression(2, 0.9);
+  LoaderConfig lc;
+  lc.batch_size = 20;
+  DataLoader loader(f.data.train, lc, Rng(5));
+  Sgd sgd(SgdConfig{.lr = 0.05});
+  joint_train_batches(f.net, loader, sgd, 2, 2, /*suppression=*/true,
+                      /*harvest=*/false);
+  for (Param* p : f.net.params()) EXPECT_EQ(p->elem_lr_scale, nullptr);
+}
+
+}  // namespace
+}  // namespace stepping

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace stepping {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  Rng a(21), b(21);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Env, FallbackWhenUnset) {
+  EXPECT_EQ(env_or("STEPPING_DEFINITELY_UNSET_VAR", "dflt"), "dflt");
+  EXPECT_EQ(env_or_int("STEPPING_DEFINITELY_UNSET_VAR", 42), 42);
+  EXPECT_DOUBLE_EQ(env_or_double("STEPPING_DEFINITELY_UNSET_VAR", 1.5), 1.5);
+}
+
+TEST(Env, ParsesSetValues) {
+  setenv("STEPPING_TEST_VAR", "123", 1);
+  EXPECT_EQ(env_or_int("STEPPING_TEST_VAR", 0), 123);
+  setenv("STEPPING_TEST_VAR", "2.25", 1);
+  EXPECT_DOUBLE_EQ(env_or_double("STEPPING_TEST_VAR", 0.0), 2.25);
+  setenv("STEPPING_TEST_VAR", "not_a_number", 1);
+  EXPECT_EQ(env_or_int("STEPPING_TEST_VAR", 9), 9);
+  unsetenv("STEPPING_TEST_VAR");
+}
+
+TEST(Table, FormatsAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "2.50%"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   |"), std::string::npos);
+  EXPECT_NE(s.find("| longer |"), std::string::npos);
+}
+
+TEST(Table, PercentFormatter) {
+  EXPECT_EQ(Table::fmt_pct(0.685), "68.50%");
+  EXPECT_EQ(Table::fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "plain"});
+  const std::string path = ::testing::TempDir() + "/stepping_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);  // header
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);  // row
+  EXPECT_NE(std::string(buf).find("\"x,y\""), std::string::npos);
+  std::fclose(f);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(t.seconds(), 0.0);
+  (void)sink;
+  EXPECT_GE(t.milliseconds(), t.seconds() * 1000.0 * 0.99);
+}
+
+}  // namespace
+}  // namespace stepping

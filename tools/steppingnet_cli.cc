@@ -1,0 +1,265 @@
+// steppingnet — command-line front end for the library.
+//
+// Subcommands:
+//   train    run the full pipeline on a synthetic dataset and save the model
+//   eval     load a saved model and report per-subnet accuracy + MACs
+//   info     load a saved model and print the structure report
+//   latency  map a saved model's subnets to latency estimates per device
+//
+// Examples:
+//   steppingnet train --model lenet3c1l --out model.bin --epochs 5
+//   steppingnet eval --model lenet3c1l --in model.bin
+//   steppingnet info --model lenet3c1l --in model.bin
+//   steppingnet latency --model lenet3c1l --in model.bin --deadline-ms 2.5
+#include <cstdio>
+#include <string>
+
+#include "core/latency.h"
+#include "core/macs.h"
+#include "core/report.h"
+#include "core/serialize.h"
+#include "core/stepping_net.h"
+#include "nn/trainer.h"
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace stepping;
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: steppingnet <train|eval|info|latency> [flags]
+
+common flags:
+  --model NAME        lenet3c1l | lenet5 | vgg16      (default lenet3c1l)
+  --classes N         output classes                   (default 10)
+  --expansion R       width expansion ratio            (default 1.8)
+  --width W           width multiplier                 (default 0.25)
+  --subnets N         number of subnets                (default 4)
+  --budgets a,b,c,d   MAC budget fractions             (default 0.1,0.3,0.5,0.85)
+
+train:
+  --out PATH          save the trained model here      (required)
+  --epochs N          pretraining epochs               (default 5)
+  --distill-epochs N  distillation epochs              (default 2)
+  --train-per-class N synthetic training images/class  (default 100)
+  --seed S            RNG seed                         (default 42)
+
+eval / info / latency:
+  --in PATH           load the model from here         (required)
+  --deadline-ms MS    (latency) report the largest subnet meeting MS
+)";
+
+struct CommonConfig {
+  std::string model;
+  int classes;
+  double expansion;
+  double width;
+  int subnets;
+  std::vector<double> budgets;
+  std::uint64_t seed;
+};
+
+std::vector<double> parse_budgets(const std::string& s) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const auto comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    out.push_back(std::strtod(tok.c_str(), nullptr));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+CommonConfig common_config(const CliArgs& args) {
+  CommonConfig c;
+  c.model = args.get("model", "lenet3c1l");
+  c.classes = static_cast<int>(args.get_int("classes", 10));
+  c.expansion = args.get_double("expansion", 1.8);
+  c.width = args.get_double("width", 0.25);
+  c.subnets = static_cast<int>(args.get_int("subnets", 4));
+  c.budgets = parse_budgets(args.get("budgets", "0.1,0.3,0.5,0.85"));
+  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  return c;
+}
+
+Network build(const CommonConfig& c, double expansion) {
+  ModelConfig mc;
+  mc.classes = c.classes;
+  mc.expansion = expansion;
+  mc.width_mult = c.width;
+  mc.seed = c.seed + 7;
+  return build_model(c.model, mc);
+}
+
+DataSplit make_data(const CommonConfig& c, int train_per_class,
+                    int test_per_class) {
+  SynthConfig cfg = c.classes > 10 ? synth_cifar100(train_per_class, test_per_class)
+                                   : synth_cifar10(train_per_class, test_per_class);
+  cfg.seed = c.seed;
+  return make_synthetic(cfg);
+}
+
+int cmd_train(const CliArgs& args) {
+  const CommonConfig c = common_config(args);
+  const std::string out = args.get("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "train: --out PATH is required\n");
+    return 2;
+  }
+  if (static_cast<int>(c.budgets.size()) != c.subnets) {
+    std::fprintf(stderr, "train: --budgets arity must equal --subnets\n");
+    return 2;
+  }
+  const DataSplit data =
+      make_data(c, static_cast<int>(args.get_int("train-per-class", 100)), 30);
+
+  Network reference = build(c, 1.0);
+  SteppingConfig cfg;
+  cfg.num_subnets = c.subnets;
+  cfg.mac_budget_frac = c.budgets;
+  cfg.reference_macs = full_macs(reference);
+  cfg.batches_per_iter = 3;
+  cfg.max_iters = 50;
+
+  SteppingNet sn(build(c, c.expansion), cfg, c.seed);
+  std::printf("pretraining...\n");
+  sn.pretrain(data.train, static_cast<int>(args.get_int("epochs", 5)));
+  std::printf("constructing subnets...\n");
+  const ConstructionReport rep = sn.construct(data.train);
+  std::printf("construction: %d iterations, budgets met: %s\n", rep.iterations,
+              rep.budgets_met ? "yes" : "no");
+  std::printf("distilling...\n");
+  sn.distill(data.train, static_cast<int>(args.get_int("distill-epochs", 2)));
+
+  Table t({"subnet", "test acc", "MACs / M_t"});
+  for (int i = 1; i <= c.subnets; ++i) {
+    t.add_row({std::to_string(i), Table::fmt_pct(sn.accuracy(data.test, i)),
+               Table::fmt_pct(sn.mac_fraction(i))});
+  }
+  t.print("\nResults:");
+
+  if (!save_network(sn.network(), out)) {
+    std::fprintf(stderr, "train: failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("\nmodel saved to %s\n", out.c_str());
+  return 0;
+}
+
+/// Load flow shared by eval/info/latency. Returns nonzero on failure.
+int load_model(const CliArgs& args, const CommonConfig& c, Network& net) {
+  const std::string in = args.get("in");
+  if (in.empty()) {
+    std::fprintf(stderr, "--in PATH is required\n");
+    return 2;
+  }
+  net = build(c, c.expansion);
+  try {
+    if (!load_network(net, in)) {
+      std::fprintf(stderr, "failed to read %s\n", in.c_str());
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "load failed: %s\n", e.what());
+    std::fprintf(stderr,
+                 "(the --model/--width/--expansion flags must match the "
+                 "values used at training time)\n");
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_eval(const CliArgs& args) {
+  const CommonConfig c = common_config(args);
+  Network net;
+  if (const int rc = load_model(args, c, net)) return rc;
+  // Same generator call as training (the per-class counts position the RNG
+  // stream, so the test set only matches train-time when they agree).
+  const DataSplit data =
+      make_data(c, static_cast<int>(args.get_int("train-per-class", 100)), 30);
+  Table t({"subnet", "test acc", "MACs"});
+  for (int i = 1; i <= c.subnets; ++i) {
+    const double acc = dataset_accuracy(
+        data.test, 64, [&](const Tensor& x, const std::vector<int>& y) {
+          return eval_batch(net, x, y, i);
+        });
+    t.add_row({std::to_string(i), Table::fmt_pct(acc),
+               std::to_string(subnet_macs(net, i))});
+  }
+  t.print("Per-subnet evaluation (synthetic test set):");
+  return 0;
+}
+
+int cmd_info(const CliArgs& args) {
+  const CommonConfig c = common_config(args);
+  Network net;
+  if (const int rc = load_model(args, c, net)) return rc;
+  const NetworkReport report = build_report(net, c.subnets);
+  std::printf("%s", report.to_string().c_str());
+  return 0;
+}
+
+int cmd_latency(const CliArgs& args) {
+  const CommonConfig c = common_config(args);
+  Network net;
+  if (const int rc = load_model(args, c, net)) return rc;
+
+  const DeviceModel devices[] = {device_mcu(), device_mobile_cpu(),
+                                 device_mobile_npu(),
+                                 calibrate_device(net, c.subnets)};
+  Table t({"device", "s1 ms", "s2 ms", "s3 ms", "s4 ms"});
+  for (const DeviceModel& dev : devices) {
+    const auto lat = subnet_latencies_ms(net, c.subnets, dev);
+    std::vector<std::string> row = {dev.name};
+    for (const double ms : lat) row.push_back(Table::fmt(ms, 3));
+    row.resize(5, "-");
+    t.add_row(row);
+  }
+  t.print("Estimated per-subnet latency:");
+
+  const double deadline = args.get_double("deadline-ms", 0.0);
+  if (deadline > 0.0) {
+    const DeviceModel host = calibrate_device(net, c.subnets);
+    const int best = largest_subnet_within(net, c.subnets, host, deadline);
+    if (best == 0) {
+      std::printf("\nno subnet meets %.3f ms on this host\n", deadline);
+    } else {
+      std::printf("\nlargest subnet within %.3f ms on this host: subnet %d\n",
+                  deadline, best);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> known = {
+      "model",   "classes",        "expansion",       "width",
+      "subnets", "budgets",        "out",             "epochs",
+      "in",      "distill-epochs", "train-per-class", "seed",
+      "deadline-ms"};
+  CliArgs args(argc, argv, known);
+  if (!args.ok()) {
+    for (const auto& e : args.errors()) std::fprintf(stderr, "%s\n", e.c_str());
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  const std::string cmd = args.positional().front();
+  if (cmd == "train") return cmd_train(args);
+  if (cmd == "eval") return cmd_eval(args);
+  if (cmd == "info") return cmd_info(args);
+  if (cmd == "latency") return cmd_latency(args);
+  std::fprintf(stderr, "unknown command: %s\n%s", cmd.c_str(), kUsage);
+  return 2;
+}
