@@ -1,0 +1,143 @@
+// Thread-scaling benchmark for the parallel execution layer (ISSUE 1).
+//
+// Sweeps the global ThreadPool over 1/2/4/N threads and measures:
+//  * forward-pass throughput of the Fig. 6 models (full net and subnet 1,
+//    so the speedup is visible on both the full and the stepping path);
+//  * raw gemm throughput at a conv-layer-like shape.
+// For every thread count the outputs are compared byte-for-byte against the
+// single-thread run — the speedup must come with bitwise determinism.
+//
+// Honours STEPPING_SCALE (quick|full|paper) for model widths/batch and
+// STEPPING_BENCH_REPS to override the repetition count (CI smoke runs use 1).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/any_width.h"
+#include "common.h"
+#include "core/macs.h"
+#include "models/models.h"
+#include "tensor/ops.h"
+#include "util/env.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace stepping::bench {
+namespace {
+
+std::vector<int> thread_counts() {
+  std::vector<int> counts = {1, 2, 4};
+  const int hw = ThreadPool::default_threads();
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+    counts.push_back(hw);
+  }
+  std::sort(counts.begin(), counts.end());
+  return counts;
+}
+
+double median_seconds(int reps, const std::function<void()>& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    times.push_back(t.seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+void bench_model_forward(const std::string& model, BenchScale scale, int reps) {
+  const ExperimentSpec spec = spec_for(model, scale);
+  ModelConfig mc;
+  mc.classes = spec.dataset == "c100" ? 100 : 10;
+  mc.expansion = spec.expansion;
+  mc.width_mult = spec.width_mult;
+  Network net = build_model(model, mc);
+  const std::int64_t full = full_macs(net);
+  std::vector<std::int64_t> budgets;
+  for (const double f : spec.budgets) {
+    budgets.push_back(static_cast<std::int64_t>(f * 0.5 * full));
+  }
+  assign_prefix_subnets(net, solve_prefix_fractions(net, budgets));
+  const int num_subnets = static_cast<int>(spec.budgets.size());
+
+  Rng rng(spec.seed);
+  Tensor x({spec.batch_size, mc.in_channels, mc.in_h, mc.in_w});
+  fill_normal(x, 0.0f, 1.0f, rng);
+
+  for (const int subnet : {1, num_subnets}) {
+    SubnetContext ctx;
+    ctx.subnet_id = subnet;
+    Tensor ref;  // single-thread output, the bitwise reference
+    double base_ms = 0.0;
+    for (const int threads : thread_counts()) {
+      ThreadPool::set_global_threads(threads);
+      Tensor y = net.forward(x, ctx);  // warm-up + output for parity check
+      Tensor scratch;
+      const double sec =
+          median_seconds(reps, [&] { scratch = net.forward(x, ctx); });
+      const char* bitwise = "ok";
+      if (threads == 1) {
+        ref = y;
+        base_ms = sec * 1e3;
+      } else if (ref.numel() != y.numel() ||
+                 std::memcmp(ref.data(), y.data(),
+                             sizeof(float) *
+                                 static_cast<std::size_t>(y.numel())) != 0) {
+        bitwise = "MISMATCH";
+      }
+      std::printf(
+          "%-16s subnet=%d threads=%d  %6.2f ms/batch  %7.1f img/s  "
+          "speedup=%4.2fx  bitwise=%s\n",
+          model.c_str(), subnet, threads, sec * 1e3, spec.batch_size / sec,
+          base_ms / (sec * 1e3), bitwise);
+    }
+  }
+}
+
+void bench_raw_gemm(int reps) {
+  // Conv-layer-like shape: (units x patch) * (patch x spatial).
+  const int m = 128, k = 400, n = 1024;
+  Rng rng(1);
+  Tensor a({m, k}), b({k, n}), c({m, n});
+  fill_normal(a, 0.0f, 1.0f, rng);
+  fill_normal(b, 0.0f, 1.0f, rng);
+  const double flops = 2.0 * m * k * n;
+  double base_ms = 0.0;
+  for (const int threads : thread_counts()) {
+    ThreadPool::set_global_threads(threads);
+    gemm(a, b, c);  // warm-up
+    const double sec = median_seconds(reps, [&] { gemm(a, b, c); });
+    if (threads == 1) base_ms = sec * 1e3;
+    std::printf(
+        "gemm %dx%dx%d  threads=%d  %6.2f ms  %6.2f GFLOP/s  speedup=%4.2fx\n",
+        m, k, n, threads, sec * 1e3, flops / sec * 1e-9,
+        base_ms / (sec * 1e3));
+  }
+}
+
+}  // namespace
+}  // namespace stepping::bench
+
+int main() {
+  using namespace stepping;
+  using namespace stepping::bench;
+  const BenchScale scale = bench_scale();
+  const int default_reps = scale == BenchScale::kQuick ? 9 : 21;
+  const int reps = static_cast<int>(
+      env_or_int("STEPPING_BENCH_REPS", default_reps));
+  std::printf("bench_threads  scale=%s  reps=%d  hardware_concurrency=%d  "
+              "STEPPING_THREADS=%s\n",
+              to_string(scale), reps, ThreadPool::default_threads(),
+              env_or("STEPPING_THREADS", "(unset)").c_str());
+  bench_raw_gemm(reps);
+  for (const std::string model : {"lenet3c1l", "lenet5", "vgg16"}) {
+    bench_model_forward(model, scale, reps);
+  }
+  ThreadPool::set_global_threads(ThreadPool::default_threads());
+  return 0;
+}

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
+
+#include "util/thread_pool.h"
 
 namespace stepping {
 
@@ -27,38 +30,59 @@ EvaluationMetrics evaluate_metrics(Network& net, const Dataset& data,
 
   Tensor x;
   std::vector<int> y;
-  std::vector<int> order(static_cast<std::size_t>(data.num_classes));
+  std::mutex merge_mutex;
   for (int begin = 0; begin < data.size(); begin += batch_size) {
     const int count = std::min(batch_size, data.size() - begin);
     data.batch(begin, count, x, y);
     const Tensor logits = net.forward(x, ctx);
     const int c = logits.dim(1);
     assert(c == data.num_classes);
-    for (int i = 0; i < count; ++i) {
-      const float* row = logits.data() + static_cast<std::int64_t>(i) * c;
-      // Rank classes by logit (descending) for top-k; top-1 = order[0].
-      order.resize(static_cast<std::size_t>(c));
-      for (int j = 0; j < c; ++j) order[static_cast<std::size_t>(j)] = j;
-      std::partial_sort(order.begin(), order.begin() + m.k, order.end(),
-                        [&](int a, int b) { return row[a] > row[b]; });
-      const int truth = y[static_cast<std::size_t>(i)];
-      const int pred = order[0];
-      ++m.total;
-      ++m.per_class[static_cast<std::size_t>(truth)].support;
-      ++m.confusion[static_cast<std::size_t>(truth) * c + pred];
-      if (pred == truth) {
-        ++m.top1_correct;
-        ++m.per_class[static_cast<std::size_t>(truth)].true_positive;
-      } else {
-        ++m.per_class[static_cast<std::size_t>(pred)].false_positive;
-      }
-      for (int j = 0; j < m.k; ++j) {
-        if (order[static_cast<std::size_t>(j)] == truth) {
-          ++m.topk_correct;
-          break;
+    // Per-sample top-k scoring in parallel: each chunk ranks its samples
+    // into local counters, merged once under a lock. All counters are
+    // integers, so the merged totals are exact for any thread count.
+    parallel_for_cost(0, count, static_cast<std::int64_t>(c) * 8,
+                      [&](std::int64_t i0, std::int64_t i1) {
+      EvaluationMetrics local;
+      local.confusion.assign(static_cast<std::size_t>(c) * c, 0);
+      local.per_class.assign(static_cast<std::size_t>(c), {});
+      std::vector<int> order(static_cast<std::size_t>(c));
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float* row = logits.data() + i * c;
+        // Rank classes by logit (descending) for top-k; top-1 = order[0].
+        for (int j = 0; j < c; ++j) order[static_cast<std::size_t>(j)] = j;
+        std::partial_sort(order.begin(), order.begin() + m.k, order.end(),
+                          [&](int a, int b) { return row[a] > row[b]; });
+        const int truth = y[static_cast<std::size_t>(i)];
+        const int pred = order[0];
+        ++local.total;
+        ++local.per_class[static_cast<std::size_t>(truth)].support;
+        ++local.confusion[static_cast<std::size_t>(truth) * c + pred];
+        if (pred == truth) {
+          ++local.top1_correct;
+          ++local.per_class[static_cast<std::size_t>(truth)].true_positive;
+        } else {
+          ++local.per_class[static_cast<std::size_t>(pred)].false_positive;
+        }
+        for (int j = 0; j < m.k; ++j) {
+          if (order[static_cast<std::size_t>(j)] == truth) {
+            ++local.topk_correct;
+            break;
+          }
         }
       }
-    }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      m.total += local.total;
+      m.top1_correct += local.top1_correct;
+      m.topk_correct += local.topk_correct;
+      for (std::size_t j = 0; j < local.confusion.size(); ++j) {
+        m.confusion[j] += local.confusion[j];
+      }
+      for (std::size_t j = 0; j < local.per_class.size(); ++j) {
+        m.per_class[j].support += local.per_class[j].support;
+        m.per_class[j].true_positive += local.per_class[j].true_positive;
+        m.per_class[j].false_positive += local.per_class[j].false_positive;
+      }
+    });
   }
   return m;
 }

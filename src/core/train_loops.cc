@@ -1,5 +1,9 @@
 #include "core/train_loops.h"
 
+#include <cstring>
+
+#include "util/thread_pool.h"
+
 namespace stepping {
 
 double evaluate(Network& net, const Dataset& data, int subnet_id,
@@ -47,8 +51,15 @@ Tensor compute_teacher_probs(Network& net, const Dataset& data, int subnet_id,
       classes = p.dim(1);
       probs = Tensor({n, classes});
     }
-    std::copy(p.data(), p.data() + p.numel(),
-              probs.data() + static_cast<std::int64_t>(begin) * classes);
+    // Row-partitioned copy into the dataset-aligned teacher matrix; each
+    // destination row is written by exactly one thread.
+    const float* src = p.data();
+    float* dst = probs.data() + static_cast<std::int64_t>(begin) * classes;
+    parallel_for_cost(0, count, classes,
+                      [&](std::int64_t i0, std::int64_t i1) {
+      std::memcpy(dst + i0 * classes, src + i0 * classes,
+                  sizeof(float) * static_cast<std::size_t>((i1 - i0) * classes));
+    });
   }
   return probs;
 }

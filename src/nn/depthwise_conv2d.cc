@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace stepping {
 
 DepthwiseConv2d::DepthwiseConv2d(std::string name, int kernel, int stride,
@@ -113,8 +115,14 @@ Tensor DepthwiseConv2d::forward(const Tensor& x, const SubnetContext& ctx) {
   Tensor y({n, units_, oh, ow});
   const std::int64_t in_plane = static_cast<std::int64_t>(geom_.in_h) * geom_.in_w;
   const float* b = bias_.value.data();
-  for (int i = 0; i < n; ++i) {
-    for (int u = 0; u < units_; ++u) {
+  // Each (image, unit) plane is independent; partition the flattened plane
+  // index so every output plane is owned by one thread.
+  parallel_for_cost(0, static_cast<std::int64_t>(n) * units_,
+                    static_cast<std::int64_t>(spatial) * cols_,
+                    [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const int i = static_cast<int>(p / units_);
+      const int u = static_cast<int>(p % units_);
       if (!active[static_cast<std::size_t>(u)]) continue;
       const float* xp =
           x.data() + (static_cast<std::int64_t>(i) * units_ + u) * in_plane;
@@ -124,7 +132,7 @@ Tensor DepthwiseConv2d::forward(const Tensor& x, const SubnetContext& ctx) {
       const float bu = b[u];
       for (int s = 0; s < spatial; ++s) yp[s] += bu;
     }
-  }
+  });
   if (ctx.training) {
     x_cache_ = x;
     preact_cache_ = y;
@@ -151,24 +159,33 @@ Tensor DepthwiseConv2d::backward(const Tensor& grad_y_in,
   Tensor grad_x(x_cache_.shape());
   const std::int64_t in_plane = static_cast<std::int64_t>(geom_.in_h) * geom_.in_w;
   float* db = bias_.grad.data();
-  for (int i = 0; i < n; ++i) {
-    for (int u = 0; u < units_; ++u) {
+  // Partition over units (not images): weight/bias gradients of unit u are
+  // then owned by one thread, and the per-unit accumulation over images
+  // keeps the serial i-ascending order, so gradients stay bit-exact.
+  parallel_for_cost(0, units_,
+                    static_cast<std::int64_t>(n) * spatial * cols_ * 2,
+                    [&](std::int64_t u0, std::int64_t u1) {
+    for (std::int64_t u = u0; u < u1; ++u) {
       if (!active[static_cast<std::size_t>(u)]) continue;
-      const float* gy =
-          grad_y.data() + (static_cast<std::int64_t>(i) * units_ + u) * spatial;
-      const float* xp =
-          x_cache_.data() + (static_cast<std::int64_t>(i) * units_ + u) * in_plane;
-      float* gx =
-          grad_x.data() + (static_cast<std::int64_t>(i) * units_ + u) * in_plane;
-      conv_plane_weight_grad(xp, gy,
-                             weight_.grad.data() +
-                                 static_cast<std::int64_t>(u) * cols_);
-      conv_plane_backward(gy, w.data() + static_cast<std::int64_t>(u) * cols_, gx);
-      float acc = 0.0f;
-      for (int s = 0; s < spatial; ++s) acc += gy[s];
-      db[u] += acc;
+      for (int i = 0; i < n; ++i) {
+        const float* gy =
+            grad_y.data() + (static_cast<std::int64_t>(i) * units_ + u) * spatial;
+        const float* xp =
+            x_cache_.data() +
+            (static_cast<std::int64_t>(i) * units_ + u) * in_plane;
+        float* gx =
+            grad_x.data() + (static_cast<std::int64_t>(i) * units_ + u) * in_plane;
+        conv_plane_weight_grad(xp, gy,
+                               weight_.grad.data() +
+                                   static_cast<std::int64_t>(u) * cols_);
+        conv_plane_backward(gy, w.data() + static_cast<std::int64_t>(u) * cols_,
+                            gx);
+        float acc = 0.0f;
+        for (int s = 0; s < spatial; ++s) acc += gy[s];
+        db[u] += acc;
+      }
     }
-  }
+  });
   return grad_x;
 }
 
@@ -182,8 +199,12 @@ Tensor DepthwiseConv2d::forward_step(const Tensor& x, const Tensor& cached_y,
   Tensor y = cached_y;
   const std::int64_t in_plane = static_cast<std::int64_t>(geom_.in_h) * geom_.in_w;
   const float* b = bias_.value.data();
-  for (int i = 0; i < n; ++i) {
-    for (int u = 0; u < units_; ++u) {
+  parallel_for_cost(0, static_cast<std::int64_t>(n) * units_,
+                    static_cast<std::int64_t>(spatial) * cols_,
+                    [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const int i = static_cast<int>(p / units_);
+      const int u = static_cast<int>(p % units_);
       const int sv = (*out_assign_)[static_cast<std::size_t>(u)];
       if (sv <= from_subnet || sv > ctx.subnet_id) continue;
       const float* xp =
@@ -193,7 +214,7 @@ Tensor DepthwiseConv2d::forward_step(const Tensor& x, const Tensor& cached_y,
       conv_plane(xp, w.data() + static_cast<std::int64_t>(u) * cols_, yp);
       for (int s = 0; s < spatial; ++s) yp[s] += b[u];
     }
-  }
+  });
   if (!is_head_) mask_inactive_units(y, *out_assign_, 1, ctx.subnet_id);
   return y;
 }

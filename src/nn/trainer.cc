@@ -1,6 +1,9 @@
 #include "nn/trainer.h"
 
+#include <atomic>
+
 #include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace stepping {
 
@@ -36,17 +39,23 @@ int eval_batch(Network& net, const Tensor& x, const std::vector<int>& labels,
   ctx.training = false;
   const Tensor logits = net.forward(x, ctx);
   const int n = logits.dim(0), c = logits.dim(1);
-  int correct = 0;
+  // Per-sample argmax scoring; chunks accumulate a local count and merge it
+  // once (integer adds commute, so the total is exact for any thread count).
+  std::atomic<int> correct{0};
   const float* p = logits.data();
-  for (int i = 0; i < n; ++i) {
-    const float* row = p + static_cast<std::int64_t>(i) * c;
-    int best = 0;
-    for (int j = 1; j < c; ++j) {
-      if (row[j] > row[best]) best = j;
+  parallel_for_cost(0, n, c, [&](std::int64_t i0, std::int64_t i1) {
+    int local = 0;
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* row = p + i * c;
+      int best = 0;
+      for (int j = 1; j < c; ++j) {
+        if (row[j] > row[best]) best = j;
+      }
+      if (best == labels[static_cast<std::size_t>(i)]) ++local;
     }
-    if (best == labels[static_cast<std::size_t>(i)]) ++correct;
-  }
-  return correct;
+    correct.fetch_add(local, std::memory_order_relaxed);
+  });
+  return correct.load();
 }
 
 Tensor predict_probs(Network& net, const Tensor& x, int subnet_id) {

@@ -6,11 +6,19 @@
 #include <cstring>
 #include <limits>
 
+#include "util/thread_pool.h"
+
 namespace stepping {
 
 // ---------------------------------------------------------------------------
 // GEMM. A simple ikj-ordered kernel: streams B rows, accumulates into C rows,
 // vectorizes well under -O2 without external BLAS.
+//
+// All kernels are partitioned over output rows of C: each row is owned by
+// exactly one parallel_for chunk and is computed in the same (p, j) order as
+// the serial loop, so results are bitwise identical for any thread count and
+// the subnet reuse invariants hold exactly. Small problems run serially
+// (parallel_for_cost's grain cut-off).
 // ---------------------------------------------------------------------------
 
 void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
@@ -21,20 +29,25 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<std::size_t>(i) * k;
-    float* crow = pc + static_cast<std::size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;  // masked weights are exactly zero
-      const float* brow = pb + static_cast<std::size_t>(p) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + static_cast<std::size_t>(i) * k;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;  // masked weights are exactly zero
+        const float* brow = pb + static_cast<std::size_t>(p) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 void gemm_tn(const Tensor& at, const Tensor& b, Tensor& c, bool accumulate) {
-  // C(MxN) = At^T * B, At is (K x M), B is (K x N).
+  // C(MxN) = At^T * B, At is (K x M), B is (K x N). The contraction stays
+  // outermost within each chunk (streams B once per chunk) while output
+  // rows are partitioned, so no two threads accumulate into the same row.
   assert(at.rank() == 2 && b.rank() == 2 && c.rank() == 2);
   const int k = at.dim(0), m = at.dim(1), n = b.dim(1);
   assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
@@ -42,16 +55,19 @@ void gemm_tn(const Tensor& at, const Tensor& b, Tensor& c, bool accumulate) {
   const float* pat = at.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int p = 0; p < k; ++p) {
-    const float* atrow = pat + static_cast<std::size_t>(p) * m;
-    const float* brow = pb + static_cast<std::size_t>(p) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = atrow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (int p = 0; p < k; ++p) {
+      const float* atrow = pat + static_cast<std::size_t>(p) * m;
+      const float* brow = pb + static_cast<std::size_t>(p) * n;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float av = atrow[i];
+        if (av == 0.0f) continue;
+        float* crow = pc + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 void gemm_nt(const Tensor& a, const Tensor& bt, Tensor& c, bool accumulate) {
@@ -63,16 +79,19 @@ void gemm_nt(const Tensor& a, const Tensor& bt, Tensor& c, bool accumulate) {
   const float* pa = a.data();
   const float* pbt = bt.data();
   float* pc = c.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<std::size_t>(i) * k;
-    float* crow = pc + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* btrow = pbt + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
-      crow[j] += acc;
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + static_cast<std::size_t>(i) * k;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float* btrow = pbt + static_cast<std::size_t>(j) * k;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
+        crow[j] += acc;
+      }
     }
-  }
+  });
 }
 
 void gemm_rows(const Tensor& a, const Tensor& b, Tensor& c,
@@ -83,17 +102,22 @@ void gemm_rows(const Tensor& a, const Tensor& b, Tensor& c,
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int i = 0; i < m; ++i) {
-    if (!row_active[i]) continue;
-    const float* arow = pa + static_cast<std::size_t>(i) * k;
-    float* crow = pc + static_cast<std::size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = pb + static_cast<std::size_t>(p) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Chunking composes with the active-row mask: inactive rows are skipped
+  // inside whichever chunk owns them, and skipped rows stay untouched.
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      if (!row_active[i]) continue;
+      const float* arow = pa + static_cast<std::size_t>(i) * k;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = pb + static_cast<std::size_t>(p) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 void gemm_nt_cols(const Tensor& a, const Tensor& bt, Tensor& c,
@@ -104,17 +128,20 @@ void gemm_nt_cols(const Tensor& a, const Tensor& bt, Tensor& c,
   const float* pa = a.data();
   const float* pbt = bt.data();
   float* pc = c.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<std::size_t>(i) * k;
-    float* crow = pc + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      if (!col_active[j]) continue;
-      const float* btrow = pbt + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
-      crow[j] += acc;
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + static_cast<std::size_t>(i) * k;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        if (!col_active[j]) continue;
+        const float* btrow = pbt + static_cast<std::size_t>(j) * k;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
+        crow[j] += acc;
+      }
     }
-  }
+  });
 }
 
 void gemm_nt_rows_acc(const Tensor& a, const Tensor& bt, Tensor& c,
@@ -125,17 +152,20 @@ void gemm_nt_rows_acc(const Tensor& a, const Tensor& bt, Tensor& c,
   const float* pa = a.data();
   const float* pbt = bt.data();
   float* pc = c.data();
-  for (int i = 0; i < m; ++i) {
-    if (!row_active[i]) continue;
-    const float* arow = pa + static_cast<std::size_t>(i) * k;
-    float* crow = pc + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* btrow = pbt + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
-      crow[j] += acc;
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      if (!row_active[i]) continue;
+      const float* arow = pa + static_cast<std::size_t>(i) * k;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float* btrow = pbt + static_cast<std::size_t>(j) * k;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
+        crow[j] += acc;
+      }
     }
-  }
+  });
 }
 
 void gemm_tn_rows(const Tensor& at, const Tensor& b, Tensor& c,
@@ -147,17 +177,20 @@ void gemm_tn_rows(const Tensor& at, const Tensor& b, Tensor& c,
   const float* pat = at.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int p = 0; p < k; ++p) {
-    if (!k_active[p]) continue;
-    const float* atrow = pat + static_cast<std::size_t>(p) * m;
-    const float* brow = pb + static_cast<std::size_t>(p) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = atrow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (int p = 0; p < k; ++p) {
+      if (!k_active[p]) continue;
+      const float* atrow = pat + static_cast<std::size_t>(p) * m;
+      const float* brow = pb + static_cast<std::size_t>(p) * n;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float av = atrow[i];
+        if (av == 0.0f) continue;
+        float* crow = pc + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -167,33 +200,38 @@ void gemm_tn_rows(const Tensor& at, const Tensor& b, Tensor& c,
 void im2col(const float* x, const Conv2dGeometry& g, float* cols) {
   const int oh = g.out_h(), ow = g.out_w();
   const int spatial = oh * ow;
-  // cols is (patch, spatial) row-major: row index = (c*k + kh)*k + kw.
-  for (int c = 0; c < g.in_c; ++c) {
-    const float* xc = x + static_cast<std::size_t>(c) * g.in_h * g.in_w;
-    for (int kh = 0; kh < g.kernel; ++kh) {
-      for (int kw = 0; kw < g.kernel; ++kw) {
-        float* crow = cols + (static_cast<std::size_t>(c) * g.kernel * g.kernel +
-                              static_cast<std::size_t>(kh) * g.kernel + kw) *
-                                 spatial;
-        for (int y = 0; y < oh; ++y) {
-          const int iy = y * g.stride + kh - g.pad;
-          if (iy < 0 || iy >= g.in_h) {
-            std::memset(crow + static_cast<std::size_t>(y) * ow, 0,
-                        sizeof(float) * static_cast<std::size_t>(ow));
-            continue;
-          }
-          const float* xrow = xc + static_cast<std::size_t>(iy) * g.in_w;
-          float* orow = crow + static_cast<std::size_t>(y) * ow;
-          for (int xo = 0; xo < ow; ++xo) {
-            const int ix = xo * g.stride + kw - g.pad;
-            orow[xo] = (ix >= 0 && ix < g.in_w) ? xrow[ix] : 0.0f;
-          }
+  const int kk = g.kernel * g.kernel;
+  // cols is (patch, spatial) row-major: row index r = (c*k + kh)*k + kw.
+  // Each patch row is written by exactly one chunk, so parallel lowering is
+  // bitwise identical to the serial loop.
+  parallel_for_cost(0, static_cast<std::int64_t>(g.in_c) * kk, spatial,
+                    [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const int c = static_cast<int>(r / kk);
+      const int kh = static_cast<int>((r / g.kernel) % g.kernel);
+      const int kw = static_cast<int>(r % g.kernel);
+      const float* xc = x + static_cast<std::size_t>(c) * g.in_h * g.in_w;
+      float* crow = cols + static_cast<std::size_t>(r) * spatial;
+      for (int y = 0; y < oh; ++y) {
+        const int iy = y * g.stride + kh - g.pad;
+        if (iy < 0 || iy >= g.in_h) {
+          std::memset(crow + static_cast<std::size_t>(y) * ow, 0,
+                      sizeof(float) * static_cast<std::size_t>(ow));
+          continue;
+        }
+        const float* xrow = xc + static_cast<std::size_t>(iy) * g.in_w;
+        float* orow = crow + static_cast<std::size_t>(y) * ow;
+        for (int xo = 0; xo < ow; ++xo) {
+          const int ix = xo * g.stride + kw - g.pad;
+          orow[xo] = (ix >= 0 && ix < g.in_w) ? xrow[ix] : 0.0f;
         }
       }
     }
-  }
+  });
 }
 
+// col2im stays serial: different patch rows scatter-add into overlapping
+// input pixels, so row-partitioning would race.
 void col2im(const float* cols, const Conv2dGeometry& g, float* x) {
   const int oh = g.out_h(), ow = g.out_w();
   const int spatial = oh * ow;
@@ -317,19 +355,23 @@ void softmax_rows(const Tensor& logits, Tensor& probs) {
   if (probs.shape() != logits.shape()) probs = Tensor(logits.shape());
   const float* pl = logits.data();
   float* pp = probs.data();
-  for (int i = 0; i < n; ++i) {
-    const float* row = pl + static_cast<std::size_t>(i) * c;
-    float* out = pp + static_cast<std::size_t>(i) * c;
-    float mx = row[0];
-    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-    float denom = 0.0f;
-    for (int j = 0; j < c; ++j) {
-      out[j] = std::exp(row[j] - mx);
-      denom += out[j];
+  // exp() is ~50x a fused multiply-add; weight the per-row cost accordingly.
+  parallel_for_cost(0, n, static_cast<std::int64_t>(c) * 50,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* row = pl + static_cast<std::size_t>(i) * c;
+      float* out = pp + static_cast<std::size_t>(i) * c;
+      float mx = row[0];
+      for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+      float denom = 0.0f;
+      for (int j = 0; j < c; ++j) {
+        out[j] = std::exp(row[j] - mx);
+        denom += out[j];
+      }
+      const float inv = 1.0f / denom;
+      for (int j = 0; j < c; ++j) out[j] *= inv;
     }
-    const float inv = 1.0f / denom;
-    for (int j = 0; j < c; ++j) out[j] *= inv;
-  }
+  });
 }
 
 void relu_forward(const Tensor& x, Tensor& y, std::vector<unsigned char>& mask) {
@@ -337,11 +379,14 @@ void relu_forward(const Tensor& x, Tensor& y, std::vector<unsigned char>& mask) 
   mask.assign(static_cast<std::size_t>(x.numel()), 0);
   const float* px = x.data();
   float* py = y.data();
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    const bool pos = px[i] > 0.0f;
-    mask[static_cast<std::size_t>(i)] = pos ? 1 : 0;
-    py[i] = pos ? px[i] : 0.0f;
-  }
+  unsigned char* pm = mask.data();
+  parallel_for_cost(0, x.numel(), 1, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const bool pos = px[i] > 0.0f;
+      pm[i] = pos ? 1 : 0;
+      py[i] = pos ? px[i] : 0.0f;
+    }
+  });
 }
 
 void relu_backward(const Tensor& grad_y, const std::vector<unsigned char>& mask,
@@ -349,9 +394,13 @@ void relu_backward(const Tensor& grad_y, const std::vector<unsigned char>& mask,
   if (grad_x.shape() != grad_y.shape()) grad_x = Tensor(grad_y.shape());
   const float* gy = grad_y.data();
   float* gx = grad_x.data();
-  for (std::int64_t i = 0; i < grad_y.numel(); ++i) {
-    gx[i] = mask[static_cast<std::size_t>(i)] ? gy[i] : 0.0f;
-  }
+  const unsigned char* pm = mask.data();
+  parallel_for_cost(0, grad_y.numel(), 1,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      gx[i] = pm[i] ? gy[i] : 0.0f;
+    }
+  });
 }
 
 void add_inplace(Tensor& y, const Tensor& x) {

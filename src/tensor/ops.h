@@ -3,6 +3,13 @@
 // Convolutions are lowered to GEMM through im2col; this is the standard
 // CPU-friendly formulation and keeps a single tuned inner loop (gemm) for
 // both Dense and Conv2d layers.
+//
+// The GEMM family, im2col, softmax_rows and the ReLU kernels execute on the
+// global ThreadPool (util/thread_pool.h), partitioned over output rows so
+// that every row is owned by exactly one thread. Results are bitwise
+// identical to serial execution for any thread count (STEPPING_THREADS=1
+// forces serial). col2im stays serial: its scatter-add writes overlap across
+// patch rows.
 #pragma once
 
 #include <vector>
