@@ -1,0 +1,411 @@
+// Load generator for the anytime-inference serving subsystem (ISSUE 2).
+//
+// Two modes:
+//
+//  * default: in-process closed- and open-loop load against serve::Server,
+//    once with incremental reuse and once with the no-reuse baseline (every
+//    refinement level re-runs the full subnet). Reports throughput,
+//    p50/p95/p99 latency, deadline-miss rate, mean exit subnet and mean
+//    MACs/request; the summary line shows the reuse saving at equal exit
+//    levels (same inputs, same ladder, so accuracy is identical by
+//    construction). A final tight-deadline open-loop run demonstrates
+//    step-down under load.
+//
+//  * --smoke: drive a TCP server (self-hosted on an ephemeral port, or an
+//    external `steppingnet serve` via --port) from several client threads
+//    and check that every reply's logits are bitwise-identical to a direct
+//    Network::forward of the reply's exit subnet on the same input. Prints a
+//    single `smoke: parity=...` line for CI to grep; --shutdown sends the
+//    kShutdown opcode afterwards so the server exits and dumps counters.
+//
+// Honours STEPPING_SCALE (quick|full|paper) for request counts.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/any_width.h"
+#include "common.h"
+#include "core/macs.h"
+#include "core/serialize.h"
+#include "models/models.h"
+#include "serve/server.h"
+#include "serve/tcp.h"
+#include "tensor/ops.h"
+#include "util/cli.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace stepping::bench {
+namespace {
+
+struct ServeBenchConfig {
+  std::string model = "lenet3c1l";
+  int classes = 10;
+  double expansion = 1.8;
+  double width = 0.25;
+  int subnets = 4;
+  std::uint64_t seed = 42;
+  std::string in;  ///< optional serialized weights (must match the flags)
+  int workers = 2;
+  int batch = 4;
+  int clients = 4;
+  int requests = 0;  ///< per client; 0 = scale default
+};
+
+/// Build the model exactly like the CLI does (so --in files written by
+/// `steppingnet train` load here too); without --in, fall back to prefix
+/// subnet assignments on the random-init net (bench_threads' trick — the
+/// serving numbers don't depend on trained weights).
+Network make_model(const ServeBenchConfig& c) {
+  ModelConfig mc;
+  mc.classes = c.classes;
+  mc.expansion = c.expansion;
+  mc.width_mult = c.width;
+  mc.seed = c.seed + 7;
+  Network net = build_model(c.model, mc);
+  if (!c.in.empty()) {
+    if (!load_network(net, c.in)) {
+      throw std::runtime_error("bench_serve: failed to read " + c.in);
+    }
+    return net;
+  }
+  const std::int64_t full = full_macs(net);
+  std::vector<std::int64_t> budgets;
+  for (int i = 1; i <= c.subnets; ++i) {
+    budgets.push_back(full * i / (c.subnets + 1));
+  }
+  assign_prefix_subnets(net, solve_prefix_fractions(net, budgets));
+  return net;
+}
+
+std::vector<Tensor> make_inputs(const Network& net, int n, std::uint64_t seed) {
+  std::vector<Tensor> inputs;
+  inputs.reserve(static_cast<std::size_t>(n));
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    Tensor x({1, net.input_channels(), net.input_h(), net.input_w()});
+    fill_normal(x, 0.0f, 1.0f, rng);
+    inputs.push_back(std::move(x));
+  }
+  return inputs;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct LoadStats {
+  double seconds = 0.0;
+  std::vector<double> latency_ms;  ///< submit -> final result
+  std::uint64_t misses = 0;
+  std::int64_t total_macs = 0;
+  double exit_sum = 0.0;
+  std::size_t completed = 0;
+
+  void add(const serve::ServedResult& r) {
+    latency_ms.push_back(r.final_ms);
+    if (r.deadline_missed) ++misses;
+    total_macs += r.macs;
+    exit_sum += r.exit_subnet;
+    ++completed;
+  }
+  double macs_per_req() const {
+    return completed ? static_cast<double>(total_macs) /
+                           static_cast<double>(completed)
+                     : 0.0;
+  }
+  void print(const char* label) const {
+    std::printf(
+        "%-24s %5zu req  %7.1f req/s  p50=%6.2f p95=%6.2f p99=%6.2f ms  "
+        "miss=%4.1f%%  mean_exit=%.2f  macs/req=%.0f\n",
+        label, completed,
+        seconds > 0.0 ? static_cast<double>(completed) / seconds : 0.0,
+        percentile(latency_ms, 0.50), percentile(latency_ms, 0.95),
+        percentile(latency_ms, 0.99),
+        completed ? 100.0 * static_cast<double>(misses) /
+                        static_cast<double>(completed)
+                  : 0.0,
+        completed ? exit_sum / static_cast<double>(completed) : 0.0,
+        macs_per_req());
+  }
+};
+
+/// Closed loop: `clients` threads, each submitting its requests serially
+/// (a new request only after the previous reply).
+LoadStats closed_loop(serve::Server& server, const std::vector<Tensor>& inputs,
+                      int clients, double deadline_ms) {
+  std::vector<LoadStats> per_client(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  Timer timer;
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < inputs.size();
+           i += static_cast<std::size_t>(clients)) {
+        serve::Request req;
+        req.input = inputs[i];  // deep copy — tensors are values
+        req.deadline_ms = deadline_ms;
+        per_client[static_cast<std::size_t>(t)].add(
+            server.serve(std::move(req)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadStats all;
+  all.seconds = timer.seconds();
+  for (const LoadStats& s : per_client) {
+    all.latency_ms.insert(all.latency_ms.end(), s.latency_ms.begin(),
+                          s.latency_ms.end());
+    all.misses += s.misses;
+    all.total_macs += s.total_macs;
+    all.exit_sum += s.exit_sum;
+    all.completed += s.completed;
+  }
+  return all;
+}
+
+/// Open loop: requests arrive on a fixed schedule regardless of completions
+/// (interval = 1/rate), then all futures are drained.
+LoadStats open_loop(serve::Server& server, const std::vector<Tensor>& inputs,
+                    double rate_per_s, double deadline_ms) {
+  std::vector<std::future<serve::ServedResult>> futures;
+  futures.reserve(inputs.size());
+  const double interval_s = rate_per_s > 0.0 ? 1.0 / rate_per_s : 0.0;
+  Timer timer;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double due = static_cast<double>(i) * interval_s;
+    while (timer.seconds() < due) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    serve::Request req;
+    req.input = inputs[i];
+    req.deadline_ms = deadline_ms;
+    futures.push_back(server.submit(std::move(req)));
+  }
+  LoadStats all;
+  for (auto& f : futures) {
+    try {
+      all.add(f.get());
+    } catch (const std::exception&) {
+      // queue-full rejection counts as neither completion nor miss here;
+      // the server's own `rejected` counter tracks it.
+    }
+  }
+  all.seconds = timer.seconds();
+  return all;
+}
+
+int run_load(const ServeBenchConfig& c) {
+  const BenchScale scale = bench_scale();
+  const int per_client =
+      c.requests > 0 ? c.requests : (scale == BenchScale::kQuick ? 16 : 64);
+  const int total = per_client * c.clients;
+  Network net = make_model(c);
+  const std::vector<Tensor> inputs = make_inputs(net, total, c.seed + 101);
+  const DeviceModel host = calibrate_device(net, c.subnets);
+
+  std::printf(
+      "bench_serve  scale=%s  model=%s subnets=%d workers=%d batch=%d "
+      "clients=%d requests=%d\n",
+      to_string(scale), c.model.c_str(), c.subnets, c.workers, c.batch,
+      c.clients, total);
+
+  // Reuse vs no-reuse at equal exit levels: no deadline / budget / gate, so
+  // every request climbs the full ladder and the answers are identical —
+  // only the MACs (and therefore time) differ.
+  auto make_server = [&](bool reuse) {
+    serve::ServeConfig cfg;
+    cfg.max_subnet = c.subnets;
+    cfg.num_workers = c.workers;
+    cfg.max_batch = c.batch;
+    cfg.reuse = reuse;
+    cfg.device = host;
+    return std::make_unique<serve::Server>(net, cfg);
+  };
+  double min_thr = 0.0;
+  for (const bool reuse : {true, false}) {
+    auto server = make_server(reuse);
+    LoadStats closed = closed_loop(*server, inputs, c.clients, 0.0);
+    closed.print(reuse ? "closed-loop reuse" : "closed-loop no-reuse");
+    const double thr =
+        static_cast<double>(closed.completed) / closed.seconds;
+    min_thr = min_thr == 0.0 ? thr : std::min(min_thr, thr);
+  }
+  // One common arrival rate below the slower server's capacity, so the two
+  // open-loop runs face identical offered load.
+  const double rate = 0.75 * min_thr;
+  LoadStats stats[2];
+  for (const bool reuse : {true, false}) {
+    auto server = make_server(reuse);
+    LoadStats open = open_loop(*server, inputs, rate, 0.0);
+    open.print(reuse ? "open-loop   reuse" : "open-loop   no-reuse");
+    stats[reuse ? 0 : 1] = std::move(open);
+  }
+  std::printf(
+      "summary: macs/req reuse=%.0f no-reuse=%.0f (saving %.1f%%)  "
+      "p95 reuse=%.2fms no-reuse=%.2fms\n",
+      stats[0].macs_per_req(), stats[1].macs_per_req(),
+      stats[1].macs_per_req() > 0.0
+          ? 100.0 * (1.0 - stats[0].macs_per_req() / stats[1].macs_per_req())
+          : 0.0,
+      percentile(stats[0].latency_ms, 0.95),
+      percentile(stats[1].latency_ms, 0.95));
+
+  // Step-down under load: a deadline near the ladder's midpoint forces the
+  // planner to settle for smaller subnets once queueing eats the slack.
+  {
+    serve::ServeConfig cfg;
+    cfg.max_subnet = c.subnets;
+    cfg.num_workers = c.workers;
+    cfg.max_batch = c.batch;
+    cfg.device = host;
+    serve::Server server(net, cfg);
+    const double tight =
+        server.planner().ladder_ms((c.subnets + 1) / 2, c.batch);
+    const double rate =
+        1.5 * static_cast<double>(stats[0].completed) / stats[0].seconds;
+    LoadStats open = open_loop(server, inputs, rate, tight);
+    char label[64];
+    std::snprintf(label, sizeof(label), "open-loop tight %.1fms", tight);
+    open.print(label);
+    server.shutdown();
+    std::printf("%s", server.counters().to_string().c_str());
+  }
+  return 0;
+}
+
+int run_smoke(const ServeBenchConfig& c, int port, bool send_shutdown) {
+  Network net = make_model(c);
+
+  // Self-host when no --port was given: the reference model and the served
+  // model are then the same object graph by construction.
+  std::unique_ptr<serve::Server> local;
+  std::unique_ptr<serve::TcpServer> tcp;
+  std::thread tcp_thread;
+  if (port == 0) {
+    serve::ServeConfig cfg;
+    cfg.max_subnet = c.subnets;
+    cfg.num_workers = c.workers;
+    cfg.max_batch = c.batch;
+    cfg.device = calibrate_device(net, c.subnets);
+    local = std::make_unique<serve::Server>(net, cfg);
+    tcp = std::make_unique<serve::TcpServer>(*local, 0);
+    port = tcp->port();
+    tcp_thread = std::thread([&] { tcp->run(); });
+    send_shutdown = true;
+  }
+
+  const int per_client = 6;
+  const std::vector<Tensor> inputs =
+      make_inputs(net, c.clients * per_client, c.seed + 202);
+  // One reference replica per client thread: Network::forward keeps layer
+  // scratch state, so concurrent parity checks need their own copies.
+  std::vector<Network> refs;
+  refs.reserve(static_cast<std::size_t>(c.clients));
+  for (int t = 0; t < c.clients; ++t) refs.push_back(net.clone());
+  std::atomic<int> parity_fail{0}, io_fail{0}, misses{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < c.clients; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        Network& ref = refs[static_cast<std::size_t>(t)];
+        serve::TcpClient client(port);
+        for (int i = 0; i < per_client; ++i) {
+          const Tensor& x = inputs[static_cast<std::size_t>(
+              t * per_client + i)];
+          serve::WireReply reply;
+          if (!client.infer(x, 0.0, 0, reply) || reply.exit_subnet == 0) {
+            ++io_fail;
+            continue;
+          }
+          if (reply.deadline_missed) ++misses;
+          SubnetContext ctx;
+          ctx.subnet_id = static_cast<int>(reply.exit_subnet);
+          Tensor direct = ref.forward(x, ctx);
+          const bool same =
+              static_cast<std::int64_t>(reply.logits.size()) ==
+                  direct.numel() &&
+              std::memcmp(reply.logits.data(), direct.data(),
+                          sizeof(float) *
+                              static_cast<std::size_t>(direct.numel())) == 0;
+          if (!same) ++parity_fail;
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "smoke client %d: %s\n", t, e.what());
+        ++io_fail;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (send_shutdown) {
+    try {
+      serve::TcpClient(port).shutdown_server();
+    } catch (const std::exception&) {
+      ++io_fail;
+    }
+  }
+  if (tcp_thread.joinable()) tcp_thread.join();
+  if (local) {
+    local->shutdown();
+    std::printf("%s", local->counters().to_string().c_str());
+  }
+
+  const int total = c.clients * per_client;
+  const bool ok = parity_fail.load() == 0 && io_fail.load() == 0;
+  std::printf("smoke: parity=%s requests=%d io_errors=%d miss_rate=%.2f\n",
+              ok ? "ok" : "FAIL", total, io_fail.load(),
+              static_cast<double>(misses.load()) / total);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace stepping::bench
+
+int main(int argc, char** argv) {
+  using namespace stepping;
+  using namespace stepping::bench;
+  const std::vector<std::string> known = {
+      "model",   "classes", "expansion", "width",    "subnets",
+      "seed",    "in",      "workers",   "batch",    "clients",
+      "requests", "port",   "smoke",     "shutdown"};
+  CliArgs args(argc, argv, known);
+  if (!args.ok()) {
+    for (const auto& e : args.errors()) std::fprintf(stderr, "%s\n", e.c_str());
+    return 2;
+  }
+  ServeBenchConfig c;
+  c.model = args.get("model", c.model);
+  c.classes = static_cast<int>(args.get_int("classes", c.classes));
+  c.expansion = args.get_double("expansion", c.expansion);
+  c.width = args.get_double("width", c.width);
+  c.subnets = static_cast<int>(args.get_int("subnets", c.subnets));
+  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  c.in = args.get("in");
+  c.workers = static_cast<int>(args.get_int("workers", c.workers));
+  c.batch = static_cast<int>(args.get_int("batch", c.batch));
+  c.clients = static_cast<int>(args.get_int("clients", c.clients));
+  c.requests = static_cast<int>(args.get_int("requests", 0));
+  try {
+    if (args.has("smoke")) {
+      return run_smoke(c, static_cast<int>(args.get_int("port", 0)),
+                       args.has("shutdown"));
+    }
+    return run_load(c);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_serve: %s\n", e.what());
+    return 1;
+  }
+}

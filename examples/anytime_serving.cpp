@@ -1,0 +1,97 @@
+// Anytime serving end to end: stand up a serve::Server on an untrained
+// stepping model, submit requests with different deadlines and MAC budgets,
+// and watch each one refine through the subnet ladder — preliminary answer
+// first, better answers while slack remains (the paper's anytime-inference
+// story as a library workflow).
+//
+// Also demonstrates the loopback TCP front end: the same server behind a
+// TcpServer, driven by a TcpClient over the length-prefixed wire protocol.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "baselines/any_width.h"
+#include "core/latency.h"
+#include "core/macs.h"
+#include "models/models.h"
+#include "serve/server.h"
+#include "serve/tcp.h"
+#include "tensor/ops.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+using namespace stepping;
+
+int main() {
+  const int subnets = 4;
+  std::printf("== Anytime-inference serving ==\n");
+
+  // --- A stepping model (prefix assignments; weights don't matter here) ---
+  ModelConfig mc{.classes = 10, .expansion = 1.8,
+                 .width_mult = env_or_double("STEPPING_WIDTH", 0.25)};
+  Network net = build_lenet3c1l(mc);
+  const std::int64_t full = full_macs(net);
+  std::vector<std::int64_t> budgets;
+  for (int i = 1; i <= subnets; ++i) budgets.push_back(full * i / (subnets + 1));
+  assign_prefix_subnets(net, solve_prefix_fractions(net, budgets));
+
+  // --- Library API: deadline-aware submit with per-step callbacks ---------
+  serve::ServeConfig cfg;
+  cfg.max_subnet = subnets;
+  cfg.num_workers = 2;
+  cfg.max_batch = 4;
+  cfg.device = calibrate_device(net, subnets);
+  serve::Server server(net, cfg);
+
+  const double ladder_ms = server.planner().ladder_ms(subnets);
+  struct Case {
+    const char* name;
+    double deadline_ms;
+    std::int64_t mac_budget;
+  };
+  const Case cases[] = {
+      {"no deadline      ", 0.0, 0},
+      {"generous deadline", 4.0 * ladder_ms, 0},
+      {"tight deadline   ", server.planner().ladder_ms(2), 0},
+      {"tiny MAC budget  ", 0.0, server.planner().costs().full[0]},
+  };
+
+  Rng rng(7);
+  for (const Case& c : cases) {
+    Tensor x({1, 3, 32, 32});
+    fill_normal(x, 0.0f, 1.0f, rng);
+    serve::Request req;
+    req.input = std::move(x);
+    req.deadline_ms = c.deadline_ms;
+    req.mac_budget = c.mac_budget;
+    req.on_step = [&](const serve::StepUpdate& s) {
+      std::printf("  %s step -> subnet %d at %6.2f ms (conf %.2f%s)\n", c.name,
+                  s.subnet, s.at_ms, s.confidence, s.final ? ", final" : "");
+    };
+    const serve::ServedResult res = server.serve(std::move(req));
+    std::printf("  %s exit=%d macs=%lld missed=%s\n", c.name, res.exit_subnet,
+                static_cast<long long>(res.macs),
+                res.deadline_missed ? "yes" : "no");
+  }
+  std::printf("%s", server.counters().to_string().c_str());
+
+  // --- TCP front end: same server over the wire ---------------------------
+  serve::TcpServer tcp(server, /*port=*/0);
+  std::thread loop([&] { tcp.run(); });
+  {
+    serve::TcpClient client(tcp.port());
+    Tensor x({1, 3, 32, 32});
+    fill_normal(x, 0.0f, 1.0f, rng);
+    serve::WireReply reply;
+    if (client.infer(x, /*deadline_ms=*/0.0, /*mac_budget=*/0, reply)) {
+      std::printf("tcp: 127.0.0.1:%d replied exit=%u logits=%zu macs=%lld\n",
+                  tcp.port(), reply.exit_subnet, reply.logits.size(),
+                  static_cast<long long>(reply.macs));
+    }
+    client.shutdown_server();
+  }
+  loop.join();
+  server.shutdown();
+  std::printf("done\n");
+  return 0;
+}

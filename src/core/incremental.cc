@@ -31,6 +31,19 @@ std::int64_t step_macs(const MaskedLayer& layer, int from, int to) {
   return count;
 }
 
+/// 64-bit FNV-1a over the tensor bytes — the input fingerprint. One linear
+/// pass, no retained copy (cf. the class comment on collision odds).
+std::uint64_t fnv1a_bytes(const Tensor& x) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(x.data());
+  const std::size_t n = sizeof(float) * static_cast<std::size_t>(x.numel());
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 }  // namespace
 
 IncrementalExecutor::IncrementalExecutor(Network& net) : net_(net) {
@@ -39,18 +52,31 @@ IncrementalExecutor::IncrementalExecutor(Network& net) : net_(net) {
 
 void IncrementalExecutor::reset() {
   cached_subnet_ = 0;
-  input_copy_ = Tensor();
+  input_shape_.clear();
+  input_hash_ = 0;
   for (auto& t : layer_outputs_) t = Tensor();
 }
 
 bool IncrementalExecutor::same_input(const Tensor& x) const {
-  if (input_copy_.shape() != x.shape()) return false;
-  return std::memcmp(input_copy_.data(), x.data(),
-                     sizeof(float) * static_cast<std::size_t>(x.numel())) == 0;
+  return input_shape_ == x.shape() && input_hash_ == fnv1a_bytes(x);
+}
+
+void IncrementalExecutor::remember_input(const Tensor& x) {
+  input_shape_ = x.shape();
+  input_hash_ = fnv1a_bytes(x);
 }
 
 Tensor IncrementalExecutor::run(const Tensor& x, int subnet_id) {
   assert(subnet_id >= 1);
+  // Not thread-safe (see header): concurrent run() calls on one executor
+  // corrupt the activation cache. This guard trips in debug/sanitizer
+  // builds when two threads interleave.
+  assert(!in_run_ && "IncrementalExecutor::run is not thread-safe");
+  in_run_ = true;
+  struct RunGuard {
+    bool& flag;
+    ~RunGuard() { flag = false; }
+  } run_guard{in_run_};
   if (cached_subnet_ != 0 && subnet_id < cached_subnet_ && same_input(x)) {
     return step_down(x, subnet_id);
   }
@@ -80,7 +106,7 @@ Tensor IncrementalExecutor::run(const Tensor& x, int subnet_id) {
     layer_outputs_[i] = out;
     cur = std::move(out);
   }
-  input_copy_ = x;
+  remember_input(x);
   cached_subnet_ = subnet_id;
   return cur;
 }

@@ -21,6 +21,20 @@ namespace stepping {
 ///   Tensor logits1 = ex.run(x, 1);     // fast preliminary decision
 ///   ... more compute becomes available ...
 ///   Tensor logits3 = ex.run(x, 3);     // refine, reusing subnet-1 work
+///
+/// NOT thread-safe: run() mutates the cached activations, and the executor
+/// also runs forward passes on the shared Network (whose layers cache
+/// activations themselves). Use one executor per thread over its own
+/// Network replica (Network::clone()) — exactly what serve::Server's
+/// workers do. Concurrent run() calls are caught by a debug-mode
+/// re-entrancy assert.
+///
+/// Input identity is tracked by a cheap fingerprint (shape + a 64-bit FNV-1a
+/// hash of the bytes) rather than a retained deep copy, so long-lived
+/// per-worker executors do not hold an extra input-sized buffer each. A hash
+/// collision (probability ~2^-64 per changed input) would silently reuse the
+/// stale cache; call reset() between inputs to bypass the fingerprint
+/// entirely when that risk is unacceptable.
 class IncrementalExecutor {
  public:
   explicit IncrementalExecutor(Network& net);
@@ -48,13 +62,16 @@ class IncrementalExecutor {
  private:
   bool same_input(const Tensor& x) const;
   Tensor step_down(const Tensor& x, int subnet_id);
+  void remember_input(const Tensor& x);
 
   Network& net_;
-  Tensor input_copy_;
+  std::vector<int> input_shape_;       // fingerprint: shape ...
+  std::uint64_t input_hash_ = 0;       // ... + FNV-1a of the bytes
   std::vector<Tensor> layer_outputs_;  // one per layer, post-activation
   int cached_subnet_ = 0;
   std::int64_t last_step_macs_ = 0;
   std::int64_t last_full_macs_ = 0;
+  bool in_run_ = false;  // debug re-entrancy guard (asserted in run())
 };
 
 }  // namespace stepping

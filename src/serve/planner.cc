@@ -1,0 +1,80 @@
+#include "serve/planner.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "core/macs.h"
+
+namespace stepping::serve {
+
+std::int64_t LevelCosts::step_macs(int from, int to) const {
+  assert(to >= 1 && to <= max_level() && from >= 0 && from < to);
+  const std::int64_t body_from =
+      from == 0 ? 0 : body[static_cast<std::size_t>(from - 1)];
+  return full[static_cast<std::size_t>(to - 1)] - body_from;
+}
+
+std::int64_t LevelCosts::stepped_macs_through(int level) const {
+  std::int64_t total = 0;
+  for (int l = 1; l <= level; ++l) total += step_macs(l - 1, l);
+  return total;
+}
+
+LevelCosts measure_level_costs(Network& net, int max_level) {
+  LevelCosts costs;
+  costs.full.reserve(static_cast<std::size_t>(max_level));
+  costs.body.reserve(static_cast<std::size_t>(max_level));
+  for (int l = 1; l <= max_level; ++l) {
+    std::int64_t full = 0, body = 0;
+    for (MaskedLayer* m : net.masked_layers()) {
+      const std::int64_t macs = m->subnet_macs(l);
+      full += macs;
+      if (!m->is_head()) body += macs;
+    }
+    costs.full.push_back(full);
+    costs.body.push_back(body);
+  }
+  return costs;
+}
+
+Planner::Planner(LevelCosts costs, DeviceModel dev)
+    : costs_(std::move(costs)), dev_(std::move(dev)) {
+  if (costs_.max_level() < 1) {
+    throw std::invalid_argument("Planner: at least one level required");
+  }
+  if (costs_.full.size() != costs_.body.size()) {
+    throw std::invalid_argument("Planner: full/body table size mismatch");
+  }
+}
+
+double Planner::step_ms(int from, int to, int batch) const {
+  return dev_.latency_ms(costs_.step_macs(from, to) * batch);
+}
+
+double Planner::ladder_ms(int level, int batch) const {
+  double ms = 0.0;
+  for (int l = 1; l <= level; ++l) ms += step_ms(l - 1, l, batch);
+  return ms;
+}
+
+int Planner::target_level(double remaining_ms, int batch) const {
+  int target = 0;
+  double ms = 0.0;
+  for (int l = 1; l <= max_level(); ++l) {
+    ms += step_ms(l - 1, l, batch);
+    if (ms <= remaining_ms) target = l;
+  }
+  return target;
+}
+
+bool Planner::step_fits(int from, int to, double remaining_ms,
+                        std::int64_t remaining_budget, int batch) const {
+  if (step_ms(from, to, batch) > remaining_ms) return false;
+  if (remaining_budget >= 0 && costs_.step_macs(from, to) > remaining_budget) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace stepping::serve

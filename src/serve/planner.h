@@ -1,0 +1,85 @@
+// Deadline-aware planning for anytime serving (ISSUE 2).
+//
+// The planner is the deterministic, clock-free core of the serving
+// subsystem: given a model's per-level MAC table and a DeviceModel
+// (core/latency.h), it answers the scheduling questions the server asks —
+// "which subnet can this request still reach before its deadline?",
+// "does the next step-up fit the remaining slack and MAC budget?" — as pure
+// functions of the remaining time/budget. Workers feed it wall-clock
+// remainders; unit tests feed it synthetic ones (tests/serve_test.cc drives
+// every decision with a deterministic fake clock).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/latency.h"
+#include "nn/network.h"
+
+namespace stepping::serve {
+
+/// Per-level analytic MAC table of a stepping model. Index convention:
+/// `full[L-1]` / `body[L-1]` hold subnet L's counts, L in 1..max_level().
+///
+/// The incremental cost of stepping from level `from` to `to` is
+///   body(to) - body(from) + head(to)  ==  full(to) - body(from)
+/// (the head is always recomputed; body units added in (from, to] are the
+/// only new body work — the paper's exact-reuse property).
+struct LevelCosts {
+  std::vector<std::int64_t> full;  ///< full from-scratch MACs of subnet L
+  std::vector<std::int64_t> body;  ///< body-only (non-head) MACs of subnet L
+
+  int max_level() const { return static_cast<int>(full.size()); }
+
+  /// MACs of one step `from -> to` (per image). `from == 0` means a cold
+  /// start, i.e. the full cost of subnet `to`.
+  std::int64_t step_macs(int from, int to) const;
+
+  /// Total MACs of stepping 0 -> 1 -> ... -> level (per image). Equals
+  /// full(level) by the reuse identity, but computed as the step sum so the
+  /// planner and the executor agree term by term.
+  std::int64_t stepped_macs_through(int level) const;
+};
+
+/// Measure `net`'s LevelCosts analytically (uses core/macs.h).
+LevelCosts measure_level_costs(Network& net, int max_level);
+
+/// Pure scheduling decisions over a LevelCosts table and a DeviceModel.
+/// Immutable after construction; safe to share across worker threads.
+class Planner {
+ public:
+  Planner(LevelCosts costs, DeviceModel dev);
+
+  int max_level() const { return costs_.max_level(); }
+  const LevelCosts& costs() const { return costs_; }
+  const DeviceModel& device() const { return dev_; }
+
+  /// Estimated wall-clock of one step `from -> to` on a micro-batch of
+  /// `batch` inputs (the batch steps together; MACs scale linearly).
+  double step_ms(int from, int to, int batch = 1) const;
+
+  /// Estimated wall-clock of the whole ladder 0 -> 1 -> ... -> level
+  /// (each step pays the device's fixed per-pass overhead once).
+  double ladder_ms(int level, int batch = 1) const;
+
+  /// Highest level reachable by stepping 1..L within `remaining_ms`.
+  /// Returns 0 when even level 1 does not fit — the server still runs
+  /// level 1 (an anytime result is always produced) but counts the request
+  /// as a deadline miss candidate. `remaining_ms < 0` is treated as 0;
+  /// a request with no deadline should pass +infinity (or call with
+  /// remaining_ms = huge) and gets max_level().
+  int target_level(double remaining_ms, int batch = 1) const;
+
+  /// True when the step `from -> to` fits both the remaining deadline slack
+  /// and the remaining per-request MAC budget. `remaining_budget < 0` means
+  /// unlimited; the budget check uses per-image MACs (budgets are
+  /// per-request, while the deadline check uses whole-batch latency).
+  bool step_fits(int from, int to, double remaining_ms,
+                 std::int64_t remaining_budget, int batch = 1) const;
+
+ private:
+  LevelCosts costs_;
+  DeviceModel dev_;
+};
+
+}  // namespace stepping::serve

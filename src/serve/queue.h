@@ -1,0 +1,65 @@
+// Thread-safe earliest-deadline-first request queue with micro-batch pops.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "serve/result.h"
+
+namespace stepping::serve {
+
+/// A request admitted into the server, carrying its completion promise and
+/// the absolute times the scheduler needs. Times are milliseconds on the
+/// server's monotonic clock (Server start = 0) so the queue itself never
+/// reads a clock — tests drive it with synthetic values.
+struct Job {
+  std::uint64_t seq = 0;        ///< admission order, the EDF tie-breaker
+  Tensor input;                 ///< (1, C, H, W)
+  double submit_ms = 0.0;       ///< admission time
+  double deadline_abs_ms = 0.0; ///< absolute deadline; <= 0 means none
+  std::int64_t mac_budget = 0;  ///< resolved budget; 0 = unlimited
+  std::function<void(const StepUpdate&)> on_step;
+  std::promise<ServedResult> promise;
+};
+
+/// Bounded MPMC queue ordered by (deadline, admission order): the request
+/// whose deadline expires first is served first; requests without a deadline
+/// sort after all deadlined ones, FIFO among themselves. pop_batch() hands a
+/// worker up to `max_batch` jobs at once — the micro-batch that is then
+/// stepped through the subnet ladder together.
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Admit a job. Returns false (job untouched) when the queue is at
+  /// capacity or closed — the caller owns the rejection path.
+  bool push(Job&& job);
+
+  /// Blocks until at least one job is available (or the queue is closed),
+  /// then moves up to `max_batch` jobs in EDF order into `out` (cleared
+  /// first). Returns false only when closed and drained.
+  bool pop_batch(int max_batch, std::vector<Job>& out);
+
+  /// Close the queue: push() fails from now on; pop_batch() drains what is
+  /// left, then returns false.
+  void close();
+
+  std::size_t depth() const;
+
+ private:
+  using Key = std::pair<double, std::uint64_t>;  ///< (deadline sort key, seq)
+  static Key key_of(const Job& job);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<Key, Job> jobs_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace stepping::serve

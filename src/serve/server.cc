@@ -1,0 +1,324 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "tensor/ops.h"
+#include "util/env.h"
+
+namespace stepping::serve {
+
+namespace {
+constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double CounterSnapshot::batch_occupancy() const {
+  return batches != 0 ? static_cast<double>(batched_inputs) /
+                            static_cast<double>(batches)
+                      : 0.0;
+}
+
+double CounterSnapshot::mean_exit_subnet() const {
+  std::uint64_t total = 0, weighted = 0;
+  for (std::size_t i = 0; i < exits_per_subnet.size(); ++i) {
+    total += exits_per_subnet[i];
+    weighted += exits_per_subnet[i] * (i + 1);
+  }
+  return total != 0 ? static_cast<double>(weighted) / static_cast<double>(total)
+                    : 0.0;
+}
+
+std::string CounterSnapshot::to_string() const {
+  std::ostringstream os;
+  char buf[64];
+  os << "serve counters:\n"
+     << "  submitted=" << submitted << " completed=" << completed
+     << " rejected=" << rejected << " deadline_misses=" << deadline_misses
+     << "\n"
+     << "  queue_depth=" << queue_depth
+     << " peak_queue_depth=" << peak_queue_depth << "\n";
+  std::snprintf(buf, sizeof(buf), "%.2f", batch_occupancy());
+  os << "  batches=" << batches << " batched_inputs=" << batched_inputs
+     << " occupancy=" << buf << "\n";
+  os << "  step_passes_per_subnet=";
+  for (std::size_t i = 0; i < step_passes_per_subnet.size(); ++i) {
+    os << (i ? "," : "") << step_passes_per_subnet[i];
+  }
+  os << "\n  exits_per_subnet=";
+  for (std::size_t i = 0; i < exits_per_subnet.size(); ++i) {
+    os << (i ? "," : "") << exits_per_subnet[i];
+  }
+  std::snprintf(buf, sizeof(buf), "%.2f", mean_exit_subnet());
+  os << "\n  mean_exit_subnet=" << buf << " total_macs=" << total_macs << "\n";
+  return os.str();
+}
+
+int Server::default_workers() {
+  const long env = env_or_int("STEPPING_SERVE_WORKERS", 0);
+  return env > 0 ? static_cast<int>(env) : 1;
+}
+
+Server::Server(const Network& model, ServeConfig cfg)
+    : cfg_(std::move(cfg)), queue_(cfg_.queue_capacity) {
+  if (!model.wired()) {
+    throw std::invalid_argument("serve::Server: model must be wired");
+  }
+  if (cfg_.max_subnet < 1) {
+    throw std::invalid_argument("serve::Server: max_subnet required (>= 1)");
+  }
+  cfg_.max_batch = std::max(1, cfg_.max_batch);
+  if (cfg_.num_workers <= 0) cfg_.num_workers = default_workers();
+
+  replicas_.reserve(static_cast<std::size_t>(cfg_.num_workers));
+  for (int w = 0; w < cfg_.num_workers; ++w) replicas_.push_back(model.clone());
+  planner_ = std::make_unique<Planner>(
+      measure_level_costs(replicas_.front(), cfg_.max_subnet), cfg_.device);
+
+  stats_.step_passes_per_subnet.assign(
+      static_cast<std::size_t>(cfg_.max_subnet), 0);
+  stats_.exits_per_subnet.assign(static_cast<std::size_t>(cfg_.max_subnet), 0);
+
+  workers_.reserve(static_cast<std::size_t>(cfg_.num_workers));
+  for (int w = 0; w < cfg_.num_workers; ++w) {
+    workers_.emplace_back(
+        [this, w] { worker_main(static_cast<std::size_t>(w)); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() {
+  const bool already = stopped_.exchange(true);
+  queue_.close();
+  if (already) return;
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::future<ServedResult> Server::submit(Request req) {
+  Job job;
+  std::future<ServedResult> fut = job.promise.get_future();
+
+  Tensor x = std::move(req.input);
+  if (x.rank() == 3) x.reshape_inplace({1, x.dim(0), x.dim(1), x.dim(2)});
+  const Network& ref = replicas_.front();
+  if (x.rank() != 4 || x.dim(0) != 1 || x.dim(1) != ref.input_channels() ||
+      x.dim(2) != ref.input_h() || x.dim(3) != ref.input_w()) {
+    job.promise.set_exception(std::make_exception_ptr(std::invalid_argument(
+        "serve: input must be (1, C, H, W) matching the model")));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.rejected;
+    return fut;
+  }
+
+  job.input = std::move(x);
+  job.seq = next_seq_.fetch_add(1);
+  job.submit_ms = now_ms();
+  const double deadline =
+      req.deadline_ms > 0.0 ? req.deadline_ms : cfg_.default_deadline_ms;
+  job.deadline_abs_ms = deadline > 0.0 ? job.submit_ms + deadline : 0.0;
+  job.mac_budget =
+      req.mac_budget > 0 ? req.mac_budget : cfg_.default_mac_budget;
+  job.on_step = std::move(req.on_step);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  if (stopped_.load() || !queue_.push(std::move(job))) {
+    // push() leaves the job untouched on failure, so the promise is intact.
+    job.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("serve: queue full or server stopped")));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.rejected;
+    return fut;
+  }
+  {
+    const std::uint64_t depth = queue_.depth();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, depth);
+  }
+  return fut;
+}
+
+ServedResult Server::serve(Request req) { return submit(std::move(req)).get(); }
+
+CounterSnapshot Server::counters() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  CounterSnapshot snap = stats_;
+  snap.queue_depth = queue_.depth();
+  return snap;
+}
+
+void Server::worker_main(std::size_t worker_id) {
+  Network& net = replicas_[worker_id];
+  IncrementalExecutor ex(net);
+  std::vector<Job> batch;
+  while (queue_.pop_batch(cfg_.max_batch, batch)) {
+    process_batch(net, ex, batch);
+  }
+}
+
+void Server::process_batch(Network& net, IncrementalExecutor& ex,
+                           std::vector<Job>& jobs) {
+  const int b = static_cast<int>(jobs.size());
+  const int c = net.input_channels(), h = net.input_h(), w = net.input_w();
+  const double start_ms = now_ms();
+
+  // Stack the micro-batch: all rows execute the same subnet at every step,
+  // so each pass is one batched forward through the parallel GEMM path.
+  Tensor x({b, c, h, w});
+  const std::int64_t img = static_cast<std::int64_t>(c) * h * w;
+  for (int j = 0; j < b; ++j) {
+    std::memcpy(x.data() + static_cast<std::size_t>(j) * img,
+                jobs[j].input.data(),
+                sizeof(float) * static_cast<std::size_t>(img));
+  }
+
+  struct Live {
+    bool active = true;
+    int target = 1;
+    std::int64_t budget = -1;  ///< total allowance; -1 unlimited
+    std::int64_t macs = 0;
+    int exit_level = 0;
+    double confidence = 0.0;
+    double first_ms = 0.0, final_ms = 0.0;
+    bool missed = false;
+    Tensor logits;
+    std::vector<StepUpdate> steps;
+  };
+  std::vector<Live> live(static_cast<std::size_t>(b));
+  for (int j = 0; j < b; ++j) {
+    Live& lv = live[static_cast<std::size_t>(j)];
+    lv.budget = jobs[j].mac_budget > 0 ? jobs[j].mac_budget : -1;
+    const double remaining = jobs[j].deadline_abs_ms > 0.0
+                                 ? jobs[j].deadline_abs_ms - start_ms
+                                 : kNoDeadline;
+    // Under load the queue wait has consumed part of the deadline, so the
+    // planner naturally steps the target down; even a hopeless deadline
+    // still yields the smallest subnet (anytime: always answer something).
+    lv.target = std::max(1, planner_->target_level(remaining, b));
+  }
+
+  ex.reset();
+  Tensor probs;
+  int active = b;
+  for (int level = 1; level <= cfg_.max_subnet && active > 0; ++level) {
+    Tensor y;
+    std::int64_t step_img = 0;
+    if (cfg_.reuse) {
+      y = ex.run(x, level);
+      step_img = ex.last_step_macs();
+    } else {
+      // No-reuse baseline: every refinement level pays the full subnet.
+      SubnetContext ctx;
+      ctx.subnet_id = level;
+      y = net.forward(x, ctx);
+      step_img = planner_->costs().full[static_cast<std::size_t>(level - 1)];
+    }
+    const double now = now_ms();
+    softmax_rows(y, probs);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.step_passes_per_subnet[static_cast<std::size_t>(level - 1)];
+      stats_.total_macs += step_img * active;
+    }
+
+    const int classes = y.dim(1);
+    for (int j = 0; j < b; ++j) {
+      Live& lv = live[static_cast<std::size_t>(j)];
+      if (!lv.active) continue;
+      lv.macs += step_img;
+      double top1 = 0.0;
+      for (int k = 0; k < classes; ++k) {
+        top1 = std::max(top1, static_cast<double>(probs.at(j, k)));
+      }
+      lv.confidence = top1;
+      if (level == 1) lv.first_ms = now - jobs[j].submit_ms;
+
+      const double remaining = jobs[j].deadline_abs_ms > 0.0
+                                   ? jobs[j].deadline_abs_ms - now
+                                   : kNoDeadline;
+      // Clamp at 0: a level already past the budget must read as exhausted,
+      // not as the "unlimited" (-1) sentinel.
+      const std::int64_t rem_budget =
+          lv.budget < 0 ? -1 : std::max<std::int64_t>(0, lv.budget - lv.macs);
+      bool stop = level >= cfg_.max_subnet || level >= lv.target;
+      if (!stop && cfg_.confidence_threshold > 0.0 &&
+          top1 >= cfg_.confidence_threshold) {
+        stop = true;
+      }
+      if (!stop &&
+          !planner_->step_fits(level, level + 1, remaining, rem_budget, b)) {
+        stop = true;
+      }
+
+      StepUpdate update;
+      update.subnet = level;
+      update.at_ms = now - jobs[j].submit_ms;
+      update.macs = lv.macs;
+      update.confidence = top1;
+      update.final = stop;
+      lv.steps.push_back(update);
+      if (jobs[j].on_step) jobs[j].on_step(update);
+
+      if (stop) {
+        lv.active = false;
+        --active;
+        lv.exit_level = level;
+        lv.final_ms = now - jobs[j].submit_ms;
+        Tensor row({1, classes});
+        std::memcpy(row.data(),
+                    y.data() + static_cast<std::size_t>(j) * classes,
+                    sizeof(float) * static_cast<std::size_t>(classes));
+        lv.logits = std::move(row);
+        lv.missed = jobs[j].deadline_abs_ms > 0.0 &&
+                    jobs[j].submit_ms + lv.first_ms > jobs[j].deadline_abs_ms;
+      }
+    }
+  }
+
+  // Update the counters BEFORE fulfilling any promise: a caller observing
+  // its future resolved must also observe its request in the counters.
+  std::uint64_t misses = 0;
+  std::vector<std::uint64_t> exits(static_cast<std::size_t>(cfg_.max_subnet),
+                                   0);
+  for (int j = 0; j < b; ++j) {
+    const Live& lv = live[static_cast<std::size_t>(j)];
+    if (lv.missed) ++misses;
+    ++exits[static_cast<std::size_t>(lv.exit_level - 1)];
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.completed += static_cast<std::uint64_t>(b);
+    stats_.deadline_misses += misses;
+    ++stats_.batches;
+    stats_.batched_inputs += static_cast<std::uint64_t>(b);
+    for (std::size_t i = 0; i < exits.size(); ++i) {
+      stats_.exits_per_subnet[i] += exits[i];
+    }
+  }
+
+  for (int j = 0; j < b; ++j) {
+    Live& lv = live[static_cast<std::size_t>(j)];
+    ServedResult res;
+    res.logits = std::move(lv.logits);
+    res.exit_subnet = lv.exit_level;
+    res.confidence = lv.confidence;
+    res.macs = lv.macs;
+    res.deadline_missed = lv.missed;
+    res.queue_ms = start_ms - jobs[j].submit_ms;
+    res.first_result_ms = lv.first_ms;
+    res.final_ms = lv.final_ms;
+    res.steps = std::move(lv.steps);
+    jobs[j].promise.set_value(std::move(res));
+  }
+}
+
+}  // namespace stepping::serve

@@ -1,0 +1,154 @@
+// Anytime-inference serving subsystem (ISSUE 2).
+//
+// The paper motivates SteppingNet with platforms where "a preliminary
+// decision should be made early and refined further with more computational
+// resources". serve::Server turns that into a multi-request serving layer:
+//
+//  * submit() admits {input, deadline, MAC budget} jobs into a thread-safe
+//    earliest-deadline-first queue (serve/queue.h);
+//  * a pool of workers — one Network replica + one IncrementalExecutor each,
+//    sized like the kernel thread pool via the STEPPING_SERVE_WORKERS env
+//    var — pops micro-batches of up to ServeConfig::max_batch requests;
+//  * each micro-batch runs the smallest subnet first in one batched forward
+//    pass (all rows share the subnet, so the pass rides the parallel GEMM
+//    path), publishes every request's preliminary result, then steps up
+//    through the ladder while slack remains; each step reuses all prior
+//    work (the paper's exact-reuse property), so refinement costs only the
+//    incremental MACs;
+//  * a request stops refining when it reaches its planned target level, its
+//    confidence gate fires, its MAC budget would be exceeded, or the next
+//    step no longer fits its remaining deadline (serve/planner.h decides,
+//    deterministically, from the DeviceModel latency table).
+//
+// Results are bitwise-identical to a direct Network::forward of the exit
+// subnet on the same input (property-tested in tests/serve_test.cc): rows of
+// a batched pass are computed independently and the incremental executor's
+// reuse is exact, so batching and stepping change *when* work happens, never
+// the answer.
+//
+// Thread-safety: Server is internally synchronized; submit()/counters() may
+// be called from any thread. Each worker owns its Network clone and
+// IncrementalExecutor exclusively (see core/incremental.h — the executor is
+// deliberately not thread-safe).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/incremental.h"
+#include "core/latency.h"
+#include "nn/network.h"
+#include "serve/planner.h"
+#include "serve/queue.h"
+#include "serve/result.h"
+#include "util/timer.h"
+
+namespace stepping::serve {
+
+struct ServeConfig {
+  /// Worker threads, each with its own model replica. <= 0 resolves from the
+  /// STEPPING_SERVE_WORKERS env var, defaulting to 1 (kernels inside a
+  /// worker already parallelize across the global thread pool; extra
+  /// workers trade per-request kernel parallelism for request throughput).
+  int num_workers = 0;
+  /// Largest micro-batch a worker pops at once. Same-subnet rows share one
+  /// batched forward per step.
+  int max_batch = 4;
+  /// Highest executable subnet (the construction's num_subnets — required;
+  /// it cannot be inferred from assignments, cf. AdaptiveConfig).
+  int max_subnet = 0;
+  /// Stop refining a request once its top-1 softmax probability reaches
+  /// this value; 0 disables the gate.
+  double confidence_threshold = 0.0;
+  /// Budget applied when Request::mac_budget == 0; 0 = unlimited.
+  std::int64_t default_mac_budget = 0;
+  /// Deadline applied when Request::deadline_ms <= 0; <= 0 = none.
+  double default_deadline_ms = 0.0;
+  /// Admission bound; submit() beyond this fails the returned future.
+  std::size_t queue_capacity = 1024;
+  /// false: disable incremental reuse — every refinement level re-runs the
+  /// full subnet from scratch. This is the no-reuse baseline every
+  /// early-exit/slimmable-style system pays (bench_serve measures the gap).
+  bool reuse = true;
+  /// Latency model used for planning (calibrate_device() for the real
+  /// host, or a preset/synthetic model in tests).
+  DeviceModel device;
+};
+
+/// Monotonic counters, snapshotted atomically under the server's stats lock.
+struct CounterSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t batches = 0;        ///< micro-batches executed
+  std::uint64_t batched_inputs = 0; ///< sum of micro-batch sizes
+  std::uint64_t queue_depth = 0;      ///< at snapshot time
+  std::uint64_t peak_queue_depth = 0; ///< high-water mark at admission
+  std::vector<std::uint64_t> step_passes_per_subnet; ///< batched passes at L
+  std::vector<std::uint64_t> exits_per_subnet;       ///< requests exiting at L
+  std::int64_t total_macs = 0; ///< per-image MACs attributed to requests
+
+  /// Mean micro-batch size; 0 when nothing ran.
+  double batch_occupancy() const;
+  /// Mean exit level over completed requests; 0 when none.
+  double mean_exit_subnet() const;
+  /// Multi-line human-readable dump (CLI prints this on shutdown).
+  std::string to_string() const;
+};
+
+class Server {
+ public:
+  /// Replicates `model` (wired, typically loaded via core/serialize.h) once
+  /// per worker and starts the workers. The model itself is not retained.
+  Server(const Network& model, ServeConfig cfg);
+  ~Server();  ///< shutdown(): drains the queue, then joins the workers
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admit a request. The future resolves with the final ServedResult, or
+  /// with std::runtime_error when the queue is full / the server stopped.
+  std::future<ServedResult> submit(Request req);
+
+  /// Synchronous convenience wrapper: submit + wait.
+  ServedResult serve(Request req);
+
+  CounterSnapshot counters() const;
+  const Planner& planner() const { return *planner_; }
+  const ServeConfig& config() const { return cfg_; }
+
+  /// Milliseconds since the server started (the clock jobs are stamped
+  /// with); exposed so callers can convert ServedResult times.
+  double now_ms() const { return clock_.milliseconds(); }
+
+  /// Stop admitting, drain queued requests, join workers. Idempotent.
+  void shutdown();
+
+  /// STEPPING_SERVE_WORKERS env var if set (> 0), else 1.
+  static int default_workers();
+
+ private:
+  void worker_main(std::size_t worker_id);
+  void process_batch(Network& net, IncrementalExecutor& ex,
+                     std::vector<Job>& jobs);
+
+  ServeConfig cfg_;
+  std::unique_ptr<Planner> planner_;
+  std::vector<Network> replicas_;  ///< one per worker
+  RequestQueue queue_;
+  Timer clock_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex stats_mutex_;
+  CounterSnapshot stats_;  ///< queue_depth filled at snapshot time
+};
+
+}  // namespace stepping::serve

@@ -230,34 +230,45 @@ void im2col(const float* x, const Conv2dGeometry& g, float* cols) {
   });
 }
 
-// col2im stays serial: different patch rows scatter-add into overlapping
-// input pixels, so row-partitioning would race.
+// col2im was left serial in ISSUE 1 because its scatter-add overlaps across
+// patch rows. The overlap is confined to ONE input channel, though: patch
+// row r = (c*k + kh)*k + kw only ever writes into channel c's plane, so
+// partitioning over channels gives every thread a private accumulation
+// region of the output — the per-thread accumulation buffer degenerates to
+// a disjoint slice of x itself (no scratch copies, no cross-thread
+// reduction), and within a channel each thread applies the contributions in
+// exactly the serial (kh, kw, y, x) order. Result: bitwise identical to the
+// serial loop for any thread count, same as the rest of the kernel family.
 void col2im(const float* cols, const Conv2dGeometry& g, float* x) {
   const int oh = g.out_h(), ow = g.out_w();
   const int spatial = oh * ow;
-  std::memset(x, 0,
-              sizeof(float) * static_cast<std::size_t>(g.in_c) * g.in_h * g.in_w);
-  for (int c = 0; c < g.in_c; ++c) {
-    float* xc = x + static_cast<std::size_t>(c) * g.in_h * g.in_w;
-    for (int kh = 0; kh < g.kernel; ++kh) {
-      for (int kw = 0; kw < g.kernel; ++kw) {
-        const float* crow =
-            cols + (static_cast<std::size_t>(c) * g.kernel * g.kernel +
-                    static_cast<std::size_t>(kh) * g.kernel + kw) *
-                       spatial;
-        for (int y = 0; y < oh; ++y) {
-          const int iy = y * g.stride + kh - g.pad;
-          if (iy < 0 || iy >= g.in_h) continue;
-          float* xrow = xc + static_cast<std::size_t>(iy) * g.in_w;
-          const float* orow = crow + static_cast<std::size_t>(y) * ow;
-          for (int xo = 0; xo < ow; ++xo) {
-            const int ix = xo * g.stride + kw - g.pad;
-            if (ix >= 0 && ix < g.in_w) xrow[ix] += orow[xo];
+  const std::int64_t kk = static_cast<std::int64_t>(g.kernel) * g.kernel;
+  parallel_for_cost(0, g.in_c, kk * spatial,
+                    [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      float* xc = x + static_cast<std::size_t>(c) * g.in_h * g.in_w;
+      std::memset(xc, 0,
+                  sizeof(float) * static_cast<std::size_t>(g.in_h) * g.in_w);
+      for (int kh = 0; kh < g.kernel; ++kh) {
+        for (int kw = 0; kw < g.kernel; ++kw) {
+          const float* crow =
+              cols + (static_cast<std::size_t>(c) * g.kernel * g.kernel +
+                      static_cast<std::size_t>(kh) * g.kernel + kw) *
+                         spatial;
+          for (int y = 0; y < oh; ++y) {
+            const int iy = y * g.stride + kh - g.pad;
+            if (iy < 0 || iy >= g.in_h) continue;
+            float* xrow = xc + static_cast<std::size_t>(iy) * g.in_w;
+            const float* orow = crow + static_cast<std::size_t>(y) * ow;
+            for (int xo = 0; xo < ow; ++xo) {
+              const int ix = xo * g.stride + kw - g.pad;
+              if (ix >= 0 && ix < g.in_w) xrow[ix] += orow[xo];
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------

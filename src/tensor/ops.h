@@ -4,12 +4,12 @@
 // CPU-friendly formulation and keeps a single tuned inner loop (gemm) for
 // both Dense and Conv2d layers.
 //
-// The GEMM family, im2col, softmax_rows and the ReLU kernels execute on the
-// global ThreadPool (util/thread_pool.h), partitioned over output rows so
-// that every row is owned by exactly one thread. Results are bitwise
-// identical to serial execution for any thread count (STEPPING_THREADS=1
-// forces serial). col2im stays serial: its scatter-add writes overlap across
-// patch rows.
+// The GEMM family, im2col, col2im, softmax_rows and the ReLU kernels execute
+// on the global ThreadPool (util/thread_pool.h), partitioned so that every
+// output element is owned by exactly one thread (col2im partitions over
+// input channels — its scatter-add only overlaps within a channel). Results
+// are bitwise identical to serial execution for any thread count
+// (STEPPING_THREADS=1 forces serial).
 #pragma once
 
 #include <vector>

@@ -115,6 +115,42 @@ TEST(Incremental, NewInputResetsCache) {
   for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], direct[i]);
 }
 
+TEST(Incremental, FingerprintTreatsEqualContentAsSameInput) {
+  // The executor keeps a shape + FNV-1a fingerprint, not an input copy
+  // (ISSUE 2 satellite): a *different tensor object* with identical bytes
+  // must still hit the cache and pay only the incremental step.
+  Network net = nested_net();
+  Rng rng(21);
+  const Tensor x = random_input(1, rng);
+  IncrementalExecutor ex(net);
+  ex.run(x, 1);
+  const Tensor same_bytes = x;  // deep copy, equal content
+  const Tensor y = ex.run(same_bytes, 2);
+  EXPECT_LT(ex.last_step_macs(), ex.last_full_macs())
+      << "equal-content input should step, not restart";
+  SubnetContext ctx;
+  ctx.subnet_id = 2;
+  const Tensor direct = net.forward(x, ctx);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], direct[i]);
+}
+
+TEST(Incremental, FingerprintDetectsSingleElementChange) {
+  Network net = nested_net();
+  Rng rng(22);
+  const Tensor x = random_input(1, rng);
+  IncrementalExecutor ex(net);
+  ex.run(x, 2);
+  Tensor x2 = x;
+  x2[x2.numel() / 2] += 0.5f;  // one element flips the hash
+  const Tensor y = ex.run(x2, 2);
+  EXPECT_EQ(ex.last_step_macs(), ex.last_full_macs())
+      << "changed input must restart from scratch";
+  SubnetContext ctx;
+  ctx.subnet_id = 2;
+  const Tensor direct = net.forward(x2, ctx);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], direct[i]);
+}
+
 TEST(Incremental, StepDownMatchesDirectEvaluation) {
   Network net = nested_net();
   Rng rng(7);

@@ -1,0 +1,174 @@
+// Loopback TCP front end tests (ISSUE 2): wire-format round trips and a
+// multi-client smoke test against an in-process server — replies must carry
+// logits bitwise-identical to a direct forward of the exit subnet.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "models/models.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/tcp.h"
+#include "tensor/ops.h"
+
+namespace stepping::serve {
+namespace {
+
+Network nested_net() {
+  ModelConfig mc{.classes = 10, .expansion = 1.5, .width_mult = 0.15};
+  Network net = build_lenet3c1l(mc);
+  for (MaskedLayer* m : net.body_layers()) {
+    for (int u = 0; u < m->num_units(); ++u) {
+      m->set_unit_subnet(u, 1 + (u % 3));
+    }
+  }
+  return net;
+}
+
+Tensor random_input(std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor x({1, 3, 32, 32});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  return x;
+}
+
+TEST(ServeProtocol, RequestRoundTrip) {
+  WireRequest req;
+  req.opcode = Opcode::kInfer;
+  req.deadline_ms = 12.5;
+  req.mac_budget = 123456789;
+  req.c = 3;
+  req.h = 4;
+  req.w = 5;
+  req.data.resize(60);
+  for (std::size_t i = 0; i < req.data.size(); ++i) {
+    req.data[i] = static_cast<float>(i) * 0.25f;
+  }
+  WireRequest out;
+  ASSERT_TRUE(decode_request(encode_request(req), out));
+  EXPECT_EQ(out.opcode, Opcode::kInfer);
+  EXPECT_EQ(out.deadline_ms, 12.5);
+  EXPECT_EQ(out.mac_budget, 123456789);
+  EXPECT_EQ(out.c, 3u);
+  EXPECT_EQ(out.h, 4u);
+  EXPECT_EQ(out.w, 5u);
+  EXPECT_EQ(out.data, req.data);
+}
+
+TEST(ServeProtocol, ReplyRoundTrip) {
+  WireReply reply;
+  reply.exit_subnet = 3;
+  reply.confidence = 0.875;
+  reply.deadline_missed = 1;
+  reply.macs = 987654321;
+  reply.first_result_ms = 1.5;
+  reply.final_ms = 4.25;
+  reply.logits = {0.5f, -1.25f, 3.0f};
+  WireReply out;
+  ASSERT_TRUE(decode_reply(encode_reply(reply), out));
+  EXPECT_EQ(out.exit_subnet, 3u);
+  EXPECT_EQ(out.confidence, 0.875);
+  EXPECT_EQ(out.deadline_missed, 1);
+  EXPECT_EQ(out.macs, 987654321);
+  EXPECT_EQ(out.first_result_ms, 1.5);
+  EXPECT_EQ(out.final_ms, 4.25);
+  EXPECT_EQ(out.logits, reply.logits);
+}
+
+TEST(ServeProtocol, DecodeRejectsTruncatedPayloads) {
+  WireRequest req;
+  req.opcode = Opcode::kInfer;
+  req.c = 2;
+  req.h = 2;
+  req.w = 2;
+  req.data.resize(8, 1.0f);
+  std::vector<std::uint8_t> bytes = encode_request(req);
+  bytes.resize(bytes.size() - 5);  // truncate mid-data
+  WireRequest out;
+  EXPECT_FALSE(decode_request(bytes, out));
+  WireReply reply_out;
+  EXPECT_FALSE(decode_reply({0x01, 0x02}, reply_out));
+}
+
+TEST(ServeTcp, MultiClientSmokeWithBitwiseParity) {
+  Network net = nested_net();
+  ServeConfig cfg;
+  cfg.max_subnet = 3;
+  cfg.num_workers = 2;
+  cfg.max_batch = 4;
+  Server server(net, cfg);
+  TcpServer tcp(server, /*port=*/0);
+  ASSERT_GT(tcp.port(), 0);
+  std::thread loop([&] { tcp.run(); });
+
+  constexpr int kClients = 3;
+  constexpr int kPerClient = 4;
+  // One reference replica per client: Network::forward keeps scratch state.
+  std::vector<Network> refs;
+  for (int t = 0; t < kClients; ++t) refs.push_back(net.clone());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      try {
+        TcpClient client(tcp.port());
+        for (int i = 0; i < kPerClient; ++i) {
+          const Tensor x = random_input(
+              static_cast<std::uint64_t>(1000 + t * kPerClient + i));
+          WireReply reply;
+          if (!client.infer(x, /*deadline_ms=*/0.0, /*mac_budget=*/0,
+                            reply) ||
+              reply.exit_subnet == 0) {
+            ++failures;
+            continue;
+          }
+          SubnetContext ctx;
+          ctx.subnet_id = static_cast<int>(reply.exit_subnet);
+          const Tensor direct =
+              refs[static_cast<std::size_t>(t)].forward(x, ctx);
+          if (static_cast<std::int64_t>(reply.logits.size()) !=
+                  direct.numel() ||
+              std::memcmp(reply.logits.data(), direct.data(),
+                          sizeof(float) * static_cast<std::size_t>(
+                                              direct.numel())) != 0) {
+            ++failures;
+          }
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Shutdown opcode: acked with an empty frame, then the accept loop exits.
+  {
+    TcpClient client(tcp.port());
+    EXPECT_TRUE(client.shutdown_server());
+  }
+  loop.join();
+  server.shutdown();
+  const CounterSnapshot snap = server.counters();
+  EXPECT_EQ(snap.completed, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(snap.rejected, 0u);
+}
+
+TEST(ServeTcp, StopUnblocksRunWithoutClients) {
+  Network net = nested_net();
+  ServeConfig cfg;
+  cfg.max_subnet = 3;
+  Server server(net, cfg);
+  TcpServer tcp(server, 0);
+  std::thread loop([&] { tcp.run(); });
+  // Give the loop a moment to block in accept(), then stop from outside.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  tcp.stop();
+  loop.join();  // must not hang
+}
+
+}  // namespace
+}  // namespace stepping::serve

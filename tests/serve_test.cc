@@ -1,0 +1,447 @@
+// Anytime-serving subsystem tests (ISSUE 2): deterministic-clock planner
+// decisions, EDF queue semantics, and the end-to-end property that served
+// logits are bitwise-identical to a direct Network::forward of the exit
+// subnet — batching, stepping and scheduling must change *when* work
+// happens, never the answer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/latency.h"
+#include "core/macs.h"
+#include "models/models.h"
+#include "serve/planner.h"
+#include "serve/queue.h"
+#include "serve/server.h"
+#include "tensor/ops.h"
+
+namespace stepping::serve {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The hand-built 3-subnet network the incremental tests use.
+Network nested_net() {
+  ModelConfig mc{.classes = 10, .expansion = 1.5, .width_mult = 0.15};
+  Network net = build_lenet3c1l(mc);
+  for (MaskedLayer* m : net.body_layers()) {
+    for (int u = 0; u < m->num_units(); ++u) {
+      m->set_unit_subnet(u, 1 + (u % 3));
+    }
+  }
+  return net;
+}
+
+Tensor random_input(std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor x({1, 3, 32, 32});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  return x;
+}
+
+/// A synthetic cost table: full = 100/300/600/1000, head = 10 at every
+/// level. On a 1 MMAC/ms device with 0.5 ms overhead the ladder steps cost
+/// 0.6 / 0.71 / 0.81 / 0.91 ms (per image).
+LevelCosts synthetic_costs() {
+  LevelCosts c;
+  c.full = {100'000, 300'000, 600'000, 1'000'000};
+  c.body = {90'000, 290'000, 590'000, 990'000};
+  return c;
+}
+
+DeviceModel synthetic_device() {
+  DeviceModel dev;
+  dev.name = "synthetic";
+  dev.macs_per_second = 1e8;  // 0.1 MMAC/ms
+  dev.fixed_overhead_ms = 0.5;
+  return dev;
+}
+
+// ---------------------------------------------------------------------------
+// Planner: pure functions of (remaining time, remaining budget) — every
+// decision below is driven by a synthetic "clock" value, no timers involved.
+// ---------------------------------------------------------------------------
+
+TEST(ServePlanner, LevelCostsMatchAnalyticMacCounts) {
+  Network net = nested_net();
+  const LevelCosts costs = measure_level_costs(net, 3);
+  ASSERT_EQ(costs.max_level(), 3);
+  for (int l = 1; l <= 3; ++l) {
+    EXPECT_EQ(costs.full[static_cast<std::size_t>(l - 1)], subnet_macs(net, l));
+    EXPECT_LT(costs.body[static_cast<std::size_t>(l - 1)],
+              costs.full[static_cast<std::size_t>(l - 1)]);
+  }
+  // Reuse identity: stepping the whole ladder costs full(L) plus the head
+  // recomputes of the intermediate levels — strictly less than re-running
+  // every subnet from scratch.
+  const std::int64_t ladder = costs.stepped_macs_through(3);
+  const std::int64_t from_scratch =
+      std::accumulate(costs.full.begin(), costs.full.end(), std::int64_t{0});
+  EXPECT_LT(ladder, from_scratch);
+  EXPECT_GE(ladder, costs.full[2]);
+}
+
+TEST(ServePlanner, StepMacsFollowsReuseIdentity) {
+  const LevelCosts c = synthetic_costs();
+  for (int to = 1; to <= 4; ++to) {
+    EXPECT_EQ(c.step_macs(0, to), c.full[static_cast<std::size_t>(to - 1)]);
+    for (int from = 1; from < to; ++from) {
+      EXPECT_EQ(c.step_macs(from, to),
+                c.full[static_cast<std::size_t>(to - 1)] -
+                    c.body[static_cast<std::size_t>(from - 1)]);
+    }
+  }
+  EXPECT_EQ(c.stepped_macs_through(1), c.full[0]);
+  EXPECT_EQ(c.stepped_macs_through(2), c.full[0] + c.step_macs(1, 2));
+}
+
+TEST(ServePlanner, TargetLevelIsMonotonicInRemainingTime) {
+  const Planner p(synthetic_costs(), synthetic_device());
+  int prev = 0;
+  for (const double remaining : {0.0, 0.5, 1.5, 3.0, 6.0, 10.0, 1e9}) {
+    const int target = p.target_level(remaining);
+    EXPECT_GE(target, prev) << "more slack must never lower the target";
+    prev = target;
+  }
+  EXPECT_EQ(p.target_level(kInf), 4);
+  EXPECT_EQ(p.target_level(-1.0), 0);   // hopeless: caller still runs level 1
+  EXPECT_EQ(p.target_level(0.0), 0);
+}
+
+TEST(ServePlanner, TargetLevelStepsDownUnderLoad) {
+  // The server feeds the planner `deadline - now`; queueing shrinks that
+  // remainder, so the same request plans a smaller subnet when it waited.
+  const Planner p(synthetic_costs(), synthetic_device());
+  const double deadline = p.ladder_ms(4) + 0.01;
+  const int fresh = p.target_level(deadline);
+  EXPECT_EQ(fresh, 4);
+  const int after_wait = p.target_level(deadline - p.ladder_ms(2));
+  EXPECT_LT(after_wait, fresh);
+  EXPECT_GE(after_wait, 1);
+}
+
+TEST(ServePlanner, TargetLevelAccountsForBatchSize) {
+  const Planner p(synthetic_costs(), synthetic_device());
+  const double remaining = p.ladder_ms(4, /*batch=*/1) + 0.01;
+  EXPECT_EQ(p.target_level(remaining, 1), 4);
+  // A batch multiplies the MAC term; the same slack plans fewer levels.
+  EXPECT_LT(p.target_level(remaining, 8), 4);
+}
+
+TEST(ServePlanner, StepFitsBudgetExhaustion) {
+  const LevelCosts c = synthetic_costs();
+  const Planner p(c, synthetic_device());
+  // Unlimited budget, unlimited time: everything fits.
+  EXPECT_TRUE(p.step_fits(1, 2, kInf, -1));
+  // Budget one MAC short of the step: exhausted.
+  EXPECT_FALSE(p.step_fits(1, 2, kInf, c.step_macs(1, 2) - 1));
+  EXPECT_TRUE(p.step_fits(1, 2, kInf, c.step_macs(1, 2)));
+  // Zero budget blocks even the cheapest step.
+  EXPECT_FALSE(p.step_fits(3, 4, kInf, 0));
+  // Deadline side: the step's wall-clock must fit the remaining slack.
+  EXPECT_FALSE(p.step_fits(1, 2, 0.0, -1));
+  EXPECT_TRUE(p.step_fits(1, 2, p.step_ms(1, 2) + 0.01, -1));
+  EXPECT_FALSE(p.step_fits(1, 2, p.step_ms(1, 2, 4) - 0.01, -1, /*batch=*/4));
+}
+
+// ---------------------------------------------------------------------------
+// RequestQueue: EDF ordering, bounded admission, close semantics.
+// ---------------------------------------------------------------------------
+
+Job make_job(std::uint64_t seq, double deadline_abs_ms) {
+  Job j;
+  j.seq = seq;
+  j.deadline_abs_ms = deadline_abs_ms;
+  return j;
+}
+
+TEST(ServeQueue, PopsInDeadlineOrder) {
+  RequestQueue q(16);
+  ASSERT_TRUE(q.push(make_job(0, 30.0)));
+  ASSERT_TRUE(q.push(make_job(1, 10.0)));
+  ASSERT_TRUE(q.push(make_job(2, 0.0)));  // no deadline: sorts last
+  ASSERT_TRUE(q.push(make_job(3, 20.0)));
+  EXPECT_EQ(q.depth(), 4u);
+  std::vector<Job> batch;
+  ASSERT_TRUE(q.pop_batch(4, batch));
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].seq, 1u);
+  EXPECT_EQ(batch[1].seq, 3u);
+  EXPECT_EQ(batch[2].seq, 0u);
+  EXPECT_EQ(batch[3].seq, 2u);
+}
+
+TEST(ServeQueue, FifoAmongEqualDeadlines) {
+  RequestQueue q(16);
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(q.push(make_job(s, 5.0)));
+  }
+  std::vector<Job> batch;
+  ASSERT_TRUE(q.pop_batch(4, batch));
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(batch[static_cast<std::size_t>(s)].seq, s);
+  }
+}
+
+TEST(ServeQueue, PopBatchHonoursMaxBatch) {
+  RequestQueue q(16);
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    ASSERT_TRUE(q.push(make_job(s, 1.0 + static_cast<double>(s))));
+  }
+  std::vector<Job> batch;
+  ASSERT_TRUE(q.pop_batch(2, batch));
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(q.depth(), 3u);
+  ASSERT_TRUE(q.pop_batch(2, batch));
+  EXPECT_EQ(batch.size(), 2u);
+  ASSERT_TRUE(q.pop_batch(2, batch));
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(ServeQueue, CapacityBoundsAdmission) {
+  RequestQueue q(2);
+  EXPECT_TRUE(q.push(make_job(0, 1.0)));
+  EXPECT_TRUE(q.push(make_job(1, 2.0)));
+  EXPECT_FALSE(q.push(make_job(2, 3.0)));
+  std::vector<Job> batch;
+  ASSERT_TRUE(q.pop_batch(1, batch));
+  EXPECT_TRUE(q.push(make_job(3, 4.0)));  // slot freed
+}
+
+TEST(ServeQueue, CloseDrainsThenStops) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.push(make_job(0, 1.0)));
+  ASSERT_TRUE(q.push(make_job(1, 2.0)));
+  q.close();
+  EXPECT_FALSE(q.push(make_job(2, 3.0)));
+  std::vector<Job> batch;
+  ASSERT_TRUE(q.pop_batch(8, batch));  // drains the two admitted jobs
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_FALSE(q.pop_batch(8, batch)) << "closed + empty must return false";
+}
+
+// ---------------------------------------------------------------------------
+// Server: end-to-end parity and scheduling behavior.
+// ---------------------------------------------------------------------------
+
+ServeConfig base_config(int workers = 1, bool reuse = true) {
+  ServeConfig cfg;
+  cfg.max_subnet = 3;
+  cfg.num_workers = workers;
+  cfg.max_batch = 4;
+  cfg.reuse = reuse;
+  cfg.device = synthetic_device();  // planning only; no deadline = no effect
+  return cfg;
+}
+
+/// Budget that forces a request to exit exactly at `level`: it covers the
+/// ladder through `level` but not the next step. In no-reuse mode every
+/// level pays full cost, so the ladder sum differs.
+std::int64_t budget_for_exit(const Planner& p, int level, bool reuse) {
+  if (reuse) return p.costs().stepped_macs_through(level);
+  std::int64_t sum = 0;
+  for (int l = 1; l <= level; ++l) {
+    sum += p.costs().full[static_cast<std::size_t>(l - 1)];
+  }
+  return sum;
+}
+
+TEST(ServeServer, ServedLogitsBitwiseEqualDirectForwardAtEveryExitLevel) {
+  Network net = nested_net();
+  for (const bool reuse : {true, false}) {
+    Server server(net, base_config(/*workers=*/1, reuse));
+    for (int level = 1; level <= 3; ++level) {
+      const Tensor x = random_input(100 + static_cast<std::uint64_t>(level));
+      Request req;
+      req.input = x;
+      req.mac_budget = budget_for_exit(server.planner(), level, reuse);
+      const ServedResult res = server.serve(std::move(req));
+      ASSERT_EQ(res.exit_subnet, level) << "reuse=" << reuse;
+
+      SubnetContext ctx;
+      ctx.subnet_id = level;
+      const Tensor direct = net.forward(x, ctx);
+      ASSERT_EQ(res.logits.shape(), direct.shape());
+      EXPECT_EQ(0, std::memcmp(res.logits.data(), direct.data(),
+                               sizeof(float) *
+                                   static_cast<std::size_t>(direct.numel())))
+          << "serving must not change the answer (reuse=" << reuse
+          << ", level=" << level << ")";
+    }
+  }
+}
+
+TEST(ServeServer, ReuseAndBaselineAgreeBitwiseAtEqualExitLevel) {
+  Network net = nested_net();
+  const Tensor x = random_input(7);
+  Tensor logits[2];
+  std::int64_t macs[2] = {0, 0};
+  for (const bool reuse : {true, false}) {
+    Server server(net, base_config(1, reuse));
+    Request req;
+    req.input = x;
+    const ServedResult res = server.serve(std::move(req));
+    EXPECT_EQ(res.exit_subnet, 3);
+    logits[reuse ? 0 : 1] = res.logits;
+    macs[reuse ? 0 : 1] = res.macs;
+  }
+  ASSERT_EQ(logits[0].shape(), logits[1].shape());
+  EXPECT_EQ(0, std::memcmp(logits[0].data(), logits[1].data(),
+                           sizeof(float) *
+                               static_cast<std::size_t>(logits[0].numel())));
+  EXPECT_LT(macs[0], macs[1])
+      << "identical answers, but reuse must attribute fewer MACs";
+}
+
+TEST(ServeServer, PreliminaryResultPrecedesRefinements) {
+  Network net = nested_net();
+  Server server(net, base_config());
+  Request req;
+  req.input = random_input(8);
+  std::vector<StepUpdate> seen;
+  std::mutex seen_mutex;
+  req.on_step = [&](const StepUpdate& s) {
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    seen.push_back(s);
+  };
+  const ServedResult res = server.serve(std::move(req));
+  ASSERT_EQ(res.exit_subnet, 3);
+  ASSERT_EQ(seen.size(), 3u) << "one update per level, preliminary first";
+  EXPECT_EQ(seen.front().subnet, 1);
+  EXPECT_FALSE(seen.front().final);
+  EXPECT_TRUE(seen.back().final);
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].subnet, seen[i - 1].subnet + 1);
+    EXPECT_GE(seen[i].at_ms, seen[i - 1].at_ms);
+    EXPECT_GT(seen[i].macs, seen[i - 1].macs);
+  }
+  EXPECT_EQ(res.steps.size(), 3u);
+  EXPECT_LE(res.first_result_ms, res.final_ms);
+}
+
+TEST(ServeServer, BudgetExhaustionExitsAtLevelOne) {
+  Network net = nested_net();
+  Server server(net, base_config());
+  Request req;
+  req.input = random_input(9);
+  req.mac_budget = 1;  // absurdly small — still gets the anytime answer
+  const ServedResult res = server.serve(std::move(req));
+  EXPECT_EQ(res.exit_subnet, 1);
+  EXPECT_EQ(res.steps.size(), 1u);
+}
+
+TEST(ServeServer, HopelessDeadlineStillAnswersAndCountsMiss) {
+  Network net = nested_net();
+  ServeConfig cfg = base_config();
+  // A real (calibrated-scale) device model so the planner's level-1 estimate
+  // genuinely exceeds the microsecond deadline below.
+  cfg.device = synthetic_device();
+  Server server(net, cfg);
+  Request req;
+  req.input = random_input(10);
+  req.deadline_ms = 1e-4;
+  const ServedResult res = server.serve(std::move(req));
+  EXPECT_EQ(res.exit_subnet, 1) << "anytime: always answer something";
+  EXPECT_TRUE(res.deadline_missed);
+  EXPECT_EQ(server.counters().deadline_misses, 1u);
+}
+
+TEST(ServeServer, ConfidenceGateStopsRefinement) {
+  Network net = nested_net();
+  ServeConfig cfg = base_config();
+  cfg.confidence_threshold = 1e-9;  // any probability clears it
+  Server server(net, cfg);
+  Request req;
+  req.input = random_input(11);
+  const ServedResult res = server.serve(std::move(req));
+  EXPECT_EQ(res.exit_subnet, 1);
+  EXPECT_GT(res.confidence, 0.0);
+}
+
+TEST(ServeServer, RejectsWrongShapeAndCountsIt) {
+  Network net = nested_net();
+  Server server(net, base_config());
+  Request req;
+  req.input = Tensor({1, 3, 8, 8});  // wrong spatial size
+  auto fut = server.submit(std::move(req));
+  EXPECT_THROW(fut.get(), std::invalid_argument);
+  EXPECT_EQ(server.counters().rejected, 1u);
+  EXPECT_EQ(server.counters().completed, 0u);
+}
+
+TEST(ServeServer, SubmitAfterShutdownFailsTheFuture) {
+  Network net = nested_net();
+  Server server(net, base_config());
+  server.shutdown();
+  Request req;
+  req.input = random_input(12);
+  auto fut = server.submit(std::move(req));
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ServeServer, MultiWorkerParityUnderConcurrentLoad) {
+  Network net = nested_net();
+  ServeConfig cfg = base_config(/*workers=*/3);
+  Server server(net, cfg);
+  const Planner& planner = server.planner();
+
+  constexpr int kRequests = 24;
+  std::vector<Tensor> inputs;
+  std::vector<int> want_level(kRequests);
+  std::vector<std::future<ServedResult>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    inputs.push_back(random_input(200 + static_cast<std::uint64_t>(i)));
+    want_level[static_cast<std::size_t>(i)] = 1 + (i % 3);
+    Request req;
+    req.input = inputs[static_cast<std::size_t>(i)];
+    req.mac_budget = budget_for_exit(
+        planner, want_level[static_cast<std::size_t>(i)], /*reuse=*/true);
+    futures.push_back(server.submit(std::move(req)));
+  }
+
+  Network ref = net.clone();  // futures are drained serially below
+  for (int i = 0; i < kRequests; ++i) {
+    const ServedResult res = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(res.exit_subnet, want_level[static_cast<std::size_t>(i)]);
+    SubnetContext ctx;
+    ctx.subnet_id = res.exit_subnet;
+    const Tensor direct =
+        ref.forward(inputs[static_cast<std::size_t>(i)], ctx);
+    ASSERT_EQ(0, std::memcmp(res.logits.data(), direct.data(),
+                             sizeof(float) *
+                                 static_cast<std::size_t>(direct.numel())))
+        << "request " << i;
+  }
+
+  const CounterSnapshot snap = server.counters();
+  EXPECT_EQ(snap.submitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(snap.completed, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(std::accumulate(snap.exits_per_subnet.begin(),
+                            snap.exits_per_subnet.end(), std::uint64_t{0}),
+            static_cast<std::uint64_t>(kRequests));
+  EXPECT_GE(snap.batches, 1u);
+  EXPECT_EQ(snap.batched_inputs, static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(ServeServer, ThreeDInputIsNormalized) {
+  Network net = nested_net();
+  Server server(net, base_config());
+  Rng rng(33);
+  Tensor x3({3, 32, 32});
+  fill_normal(x3, 0.0f, 1.0f, rng);
+  Request req;
+  req.input = x3;
+  const ServedResult res = server.serve(std::move(req));
+  EXPECT_EQ(res.exit_subnet, 3);
+  EXPECT_EQ(res.logits.dim(0), 1);
+  EXPECT_EQ(res.logits.dim(1), 10);
+}
+
+}  // namespace
+}  // namespace stepping::serve

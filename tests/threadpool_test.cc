@@ -249,6 +249,28 @@ TEST_F(ParallelKernelParity, Im2colMatchesSerialBitwise) {
   }
 }
 
+TEST_F(ParallelKernelParity, Col2imMatchesSerialBitwise) {
+  Rng rng(17);
+  // col2im is a scatter-add: overlapping patches accumulate, but only within
+  // one input channel, so the channel partition must reproduce the serial
+  // accumulation order exactly (ISSUE 2 satellite). Geometries cover heavy
+  // overlap (stride < kernel), padding, and a cost large enough that the
+  // pool genuinely splits the channels across threads.
+  const Conv2dGeometry geoms[] = {
+      //             in_c in_h in_w out_c k  s  p
+      {3, 8, 8, 4, 3, 1, 1},      // below the grain: serial fallback path
+      {16, 32, 32, 8, 5, 1, 2},   // ~410k ops: splits across threads
+      {24, 16, 16, 8, 3, 1, 0},   // channel count > thread count
+      {9, 19, 23, 8, 5, 2, 2},    // odd sizes, stride 2
+  };
+  for (const Conv2dGeometry& g : geoms) {
+    const Tensor cols = random_tensor({g.patch(), g.out_h() * g.out_w()}, rng);
+    const Tensor x_template({g.in_c, g.in_h, g.in_w});
+    check_parity("col2im", x_template,
+                 [&](Tensor& x) { col2im(cols.data(), g, x.data()); });
+  }
+}
+
 TEST_F(ParallelKernelParity, SoftmaxAndReluMatchSerialBitwise) {
   Rng rng(13);
   const Tensor logits = random_tensor({256, 100}, rng);

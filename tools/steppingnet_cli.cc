@@ -5,12 +5,15 @@
 //   eval     load a saved model and report per-subnet accuracy + MACs
 //   info     load a saved model and print the structure report
 //   latency  map a saved model's subnets to latency estimates per device
+//   serve    serve a saved model over loopback TCP with anytime inference
 //
 // Examples:
 //   steppingnet train --model lenet3c1l --out model.bin --epochs 5
 //   steppingnet eval --model lenet3c1l --in model.bin
 //   steppingnet info --model lenet3c1l --in model.bin
 //   steppingnet latency --model lenet3c1l --in model.bin --deadline-ms 2.5
+//   steppingnet serve --model lenet3c1l --in model.bin --port 17707 --workers 2
+#include <csignal>
 #include <cstdio>
 #include <string>
 
@@ -23,6 +26,8 @@
 #include "data/loader.h"
 #include "data/synthetic.h"
 #include "models/models.h"
+#include "serve/server.h"
+#include "serve/tcp.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -30,7 +35,8 @@ using namespace stepping;
 
 namespace {
 
-constexpr const char* kUsage = R"(usage: steppingnet <train|eval|info|latency> [flags]
+constexpr const char* kUsage =
+    R"(usage: steppingnet <train|eval|info|latency|serve> [flags]
 
 common flags:
   --model NAME        lenet3c1l | lenet5 | vgg16      (default lenet3c1l)
@@ -47,9 +53,18 @@ train:
   --train-per-class N synthetic training images/class  (default 100)
   --seed S            RNG seed                         (default 42)
 
-eval / info / latency:
+eval / info / latency / serve:
   --in PATH           load the model from here         (required)
   --deadline-ms MS    (latency) report the largest subnet meeting MS
+                      (serve) default per-request deadline, 0 = none
+
+serve:
+  --port P            TCP port on 127.0.0.1, 0 = ephemeral (default 0)
+  --workers N         worker threads, 0 = STEPPING_SERVE_WORKERS/1 (default 0)
+  --batch B           micro-batch size per worker       (default 4)
+  --confidence T      early-exit top-1 gate, 0 = off    (default 0)
+  --mac-budget M      default per-request MAC budget, 0 = unlimited
+  --no-reuse          disable incremental reuse (baseline mode)
 )";
 
 struct CommonConfig {
@@ -237,6 +252,45 @@ int cmd_latency(const CliArgs& args) {
   return 0;
 }
 
+// SIGINT routing for `serve`: the handler only requests the accept loop to
+// exit; counters are dumped by the normal post-run() path.
+serve::TcpServer* g_tcp_server = nullptr;
+
+void handle_sigint(int) {
+  if (g_tcp_server != nullptr) g_tcp_server->stop();
+}
+
+int cmd_serve(const CliArgs& args) {
+  const CommonConfig c = common_config(args);
+  Network net;
+  if (const int rc = load_model(args, c, net)) return rc;
+
+  serve::ServeConfig cfg;
+  cfg.max_subnet = c.subnets;
+  cfg.num_workers = static_cast<int>(args.get_int("workers", 0));
+  cfg.max_batch = static_cast<int>(args.get_int("batch", 4));
+  cfg.confidence_threshold = args.get_double("confidence", 0.0);
+  cfg.default_mac_budget = args.get_int("mac-budget", 0);
+  cfg.default_deadline_ms = args.get_double("deadline-ms", 0.0);
+  cfg.reuse = !args.has("no-reuse");
+  cfg.device = calibrate_device(net, c.subnets);
+
+  serve::Server server(net, cfg);
+  serve::TcpServer tcp(server, static_cast<int>(args.get_int("port", 0)));
+  g_tcp_server = &tcp;
+  std::signal(SIGINT, handle_sigint);
+  std::printf("serving %s on 127.0.0.1:%d (%d workers, batch %d, %s)\n",
+              args.get("in").c_str(), tcp.port(), server.config().num_workers,
+              server.config().max_batch,
+              cfg.reuse ? "incremental reuse" : "no-reuse baseline");
+  std::fflush(stdout);
+  tcp.run();  // returns on SIGINT or a kShutdown frame
+  g_tcp_server = nullptr;
+  server.shutdown();
+  std::printf("%s", server.counters().to_string().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -244,7 +298,8 @@ int main(int argc, char** argv) {
       "model",   "classes",        "expansion",       "width",
       "subnets", "budgets",        "out",             "epochs",
       "in",      "distill-epochs", "train-per-class", "seed",
-      "deadline-ms"};
+      "deadline-ms", "port",       "workers",         "batch",
+      "confidence",  "mac-budget", "no-reuse"};
   CliArgs args(argc, argv, known);
   if (!args.ok()) {
     for (const auto& e : args.errors()) std::fprintf(stderr, "%s\n", e.c_str());
@@ -260,6 +315,7 @@ int main(int argc, char** argv) {
   if (cmd == "eval") return cmd_eval(args);
   if (cmd == "info") return cmd_info(args);
   if (cmd == "latency") return cmd_latency(args);
+  if (cmd == "serve") return cmd_serve(args);
   std::fprintf(stderr, "unknown command: %s\n%s", cmd.c_str(), kUsage);
   return 2;
 }
