@@ -6,6 +6,7 @@
 #include "core/mover.h"
 #include "core/pruner.h"
 #include "core/train_loops.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace stepping {
@@ -40,11 +41,15 @@ ConstructionReport construct_subnets(Network& net, const SteppingConfig& cfg,
   };
 
   for (int iter = 0; iter < cfg.max_iters; ++iter) {
+    STEPPING_TRACE_SCOPE_CAT("construct", "construct.iter");
     // 1. Train all subnets for m batches, harvesting importance afresh.
-    net.reset_importance(n);
-    if (cfg.enable_suppression) net.prepare_lr_suppression(n, cfg.beta);
-    joint_train_batches(net, loader, sgd, n, cfg.batches_per_iter,
-                        cfg.enable_suppression, /*harvest_importance=*/true);
+    {
+      STEPPING_TRACE_SCOPE_CAT("construct", "construct.harvest");
+      net.reset_importance(n);
+      if (cfg.enable_suppression) net.prepare_lr_suppression(n, cfg.beta);
+      joint_train_batches(net, loader, sgd, n, cfg.batches_per_iter,
+                          cfg.enable_suppression, /*harvest_importance=*/true);
+    }
 
     // 2. Evaluate MACs against budgets.
     const auto macs = all_subnet_macs(net, n);
@@ -55,13 +60,18 @@ ConstructionReport construct_subnets(Network& net, const SteppingConfig& cfg,
     }
 
     // 3. Move least-important units up / out.
-    const MoveStats ms = move_step(net, cfg, per_iter);
+    MoveStats ms;
+    {
+      STEPPING_TRACE_SCOPE_CAT("construct", "construct.move");
+      ms = move_step(net, cfg, per_iter);
+    }
     report.total_moved_units += ms.moved_units;
 
     // 4. Magnitude pruning — non-permanent by default (mask re-derived from
     // live magnitudes); the permanent_pruning ablation only ANDs new zeros
     // onto the existing mask so pruned weights never return.
     if (cfg.enable_pruning) {
+      STEPPING_TRACE_SCOPE_CAT("construct", "construct.prune");
       if (cfg.permanent_pruning) {
         for (MaskedLayer* m : net.masked_layers()) {
           std::vector<std::uint8_t> old_mask(m->prune_mask().begin(),

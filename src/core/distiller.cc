@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "nn/trainer.h"
+#include "obs/trace.h"
 
 namespace stepping {
 
@@ -30,8 +31,10 @@ void distill_subnets(Network& net, const SteppingConfig& cfg,
   ctx.training = true;
 
   for (int e = 0; e < epochs; ++e) {
+    STEPPING_TRACE_SCOPE_CAT("distill", "distill.epoch");
     rng.shuffle(order);
     for (int begin = 0; begin < n_samples; begin += batch_size) {
+      STEPPING_TRACE_SCOPE_CAT("distill", "distill.batch");
       const int count = std::min(batch_size, n_samples - begin);
       // Gather batch images, labels, and row-aligned teacher targets.
       Tensor x({count, c, h, w});

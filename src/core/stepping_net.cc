@@ -7,6 +7,7 @@
 #include "core/macs.h"
 #include "core/train_loops.h"
 #include "nn/trainer.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace stepping {
@@ -22,6 +23,7 @@ SteppingNet::SteppingNet(Network net, SteppingConfig cfg, std::uint64_t seed)
 }
 
 double SteppingNet::pretrain(const Dataset& train, int epochs, int batch_size) {
+  STEPPING_TRACE_SCOPE_CAT("phase", "phase.pretrain");
   // All units start in subnet 1, so subnet 1 IS the full expanded network.
   const double loss =
       train_plain(net_, train, sgd_, /*subnet_id=*/1, epochs, batch_size, rng_);
@@ -31,6 +33,7 @@ double SteppingNet::pretrain(const Dataset& train, int epochs, int batch_size) {
 }
 
 ConstructionReport SteppingNet::construct(const Dataset& train, int batch_size) {
+  STEPPING_TRACE_SCOPE_CAT("phase", "phase.construct");
   LoaderConfig lc;
   lc.batch_size = batch_size;
   DataLoader loader(train, lc, rng_.fork());
@@ -41,6 +44,7 @@ ConstructionReport SteppingNet::construct(const Dataset& train, int batch_size) 
 }
 
 void SteppingNet::distill(const Dataset& train, int epochs, int batch_size) {
+  STEPPING_TRACE_SCOPE_CAT("phase", "phase.distill");
   if (teacher_probs_.empty()) {
     throw std::logic_error("SteppingNet::distill: pretrain() must run first");
   }

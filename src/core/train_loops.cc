@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace stepping {
@@ -26,6 +27,7 @@ double train_plain(Network& net, const Dataset& train, Sgd& sgd, int subnet_id,
   double last_loss = 0.0;
   const int bpe = loader.batches_per_epoch();
   for (int e = 0; e < epochs; ++e) {
+    STEPPING_TRACE_SCOPE_CAT("train", "train.epoch");
     double loss_sum = 0.0;
     for (int b = 0; b < bpe; ++b) {
       const auto batch = loader.next();
@@ -38,6 +40,7 @@ double train_plain(Network& net, const Dataset& train, Sgd& sgd, int subnet_id,
 
 Tensor compute_teacher_probs(Network& net, const Dataset& data, int subnet_id,
                              int batch_size) {
+  STEPPING_TRACE_SCOPE_CAT("train", "train.teacher_probs");
   const int n = data.size();
   Tensor probs;
   Tensor x;
@@ -67,6 +70,7 @@ Tensor compute_teacher_probs(Network& net, const Dataset& data, int subnet_id,
 BatchStats joint_train_batches(Network& net, DataLoader& loader, Sgd& sgd,
                                int num_subnets, int num_batches,
                                bool suppression, bool harvest_importance) {
+  STEPPING_TRACE_SCOPE_CAT("train", "construct.joint_train");
   BatchStats agg;
   SubnetContext ctx;
   ctx.num_subnets = num_subnets;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/thread_pool.h"
 
@@ -12,10 +13,20 @@ BatchStats train_batch(Network& net, Sgd& sgd, const Tensor& x,
                        double lr_mult) {
   const auto params = net.params();
   sgd.zero_grads(params);
-  const Tensor logits = net.forward(x, ctx);
+  Tensor logits;
+  {
+    STEPPING_TRACE_SCOPE_CAT("train", "train.forward");
+    logits = net.forward(x, ctx);
+  }
   LossOutput lo = softmax_cross_entropy(logits, labels);
-  net.backward(lo.grad_logits, ctx);
-  sgd.step(params, lr_mult);
+  {
+    STEPPING_TRACE_SCOPE_CAT("train", "train.backward");
+    net.backward(lo.grad_logits, ctx);
+  }
+  {
+    STEPPING_TRACE_SCOPE_CAT("train", "sgd.step");
+    sgd.step(params, lr_mult);
+  }
   return BatchStats{lo.loss, lo.correct, static_cast<int>(labels.size())};
 }
 
@@ -25,15 +36,26 @@ BatchStats distill_batch(Network& net, Sgd& sgd, const Tensor& x,
                          const SubnetContext& ctx, double lr_mult) {
   const auto params = net.params();
   sgd.zero_grads(params);
-  const Tensor logits = net.forward(x, ctx);
+  Tensor logits;
+  {
+    STEPPING_TRACE_SCOPE_CAT("train", "train.forward");
+    logits = net.forward(x, ctx);
+  }
   LossOutput lo = distillation_loss(logits, labels, teacher_probs, gamma);
-  net.backward(lo.grad_logits, ctx);
-  sgd.step(params, lr_mult);
+  {
+    STEPPING_TRACE_SCOPE_CAT("train", "train.backward");
+    net.backward(lo.grad_logits, ctx);
+  }
+  {
+    STEPPING_TRACE_SCOPE_CAT("train", "sgd.step");
+    sgd.step(params, lr_mult);
+  }
   return BatchStats{lo.loss, lo.correct, static_cast<int>(labels.size())};
 }
 
 int eval_batch(Network& net, const Tensor& x, const std::vector<int>& labels,
                int subnet_id) {
+  STEPPING_TRACE_SCOPE_CAT("train", "eval.batch");
   SubnetContext ctx;
   ctx.subnet_id = subnet_id;
   ctx.training = false;

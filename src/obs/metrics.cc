@@ -1,0 +1,199 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace stepping::obs {
+
+namespace {
+
+/// Growth factor 2^(1/4): four buckets per octave, ~19% relative
+/// resolution, 96 buckets span kFirstBound .. kFirstBound * 2^24 (1 µs to
+/// ~16.8 s when measuring milliseconds).
+constexpr double kGrowth = 1.189207115002721;  // 2^0.25
+
+struct Bounds {
+  double b[Histogram::kNumBuckets];
+  Bounds() {
+    double v = Histogram::kFirstBound;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      b[i] = v;
+      v *= kGrowth;
+    }
+  }
+};
+
+const Bounds& bounds() {
+  static const Bounds b;
+  return b;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+double Histogram::bucket_bound(int i) {
+  return bounds().b[std::clamp(i, 0, kNumBuckets - 1)];
+}
+
+void Histogram::observe(double v) {
+  const double* b = bounds().b;
+  // First bucket whose upper bound is >= v ("le" semantics); the last
+  // bucket absorbs overflow.
+  const double* it = std::lower_bound(b, b + kNumBuckets, v);
+  const int idx =
+      it == b + kNumBuckets ? kNumBuckets - 1 : static_cast<int>(it - b);
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(kNumBuckets));
+  for (int i = 0; i < kNumBuckets; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile among `total` samples, in [0, total].
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const double c = static_cast<double>(counts[static_cast<std::size_t>(i)]);
+    if (c == 0.0) continue;
+    if (cum + c >= rank) {
+      const double lower = i == 0 ? 0.0 : bounds().b[i - 1];
+      const double upper = bounds().b[i];
+      const double frac = std::clamp((rank - cum) / c, 0.0, 1.0);
+      return lower + (upper - lower) * frac;
+    }
+    cum += c;
+  }
+  return bounds().b[kNumBuckets - 1];  // all mass in the overflow bucket
+}
+
+Registry::Entry& Registry::find_or_create(const std::string& name, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw std::logic_error("obs::Registry: metric '" + name +
+                             "' already registered with a different type");
+    }
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  switch (kind) {
+    case Kind::kCounter: e.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram: e.histogram = std::make_unique<Histogram>(); break;
+  }
+  return entries_.emplace(name, std::move(e)).first->second;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return *find_or_create(name, Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return *find_or_create(name, Kind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  return *find_or_create(name, Kind::kHistogram).histogram;
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(e.counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(e.gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        const std::vector<std::uint64_t> counts = e.histogram->bucket_counts();
+        // Emit cumulative buckets up to the last occupied one, then +Inf —
+        // the full 96-bucket grid would be mostly zeros.
+        int last = -1;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          if (counts[static_cast<std::size_t>(i)] != 0) last = i;
+        }
+        std::uint64_t cum = 0;
+        for (int i = 0; i <= last; ++i) {
+          cum += counts[static_cast<std::size_t>(i)];
+          out += name + "_bucket{le=\"" +
+                 fmt_double(Histogram::bucket_bound(i)) + "\"} " +
+                 std::to_string(cum) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(e.histogram->count()) + "\n";
+        out += name + "_sum " + fmt_double(e.histogram->sum()) + "\n";
+        out += name + "_count " + std::to_string(e.histogram->count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":";
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += std::to_string(e.counter->value());
+        break;
+      case Kind::kGauge:
+        out += std::to_string(e.gauge->value());
+        break;
+      case Kind::kHistogram:
+        out += "{\"count\":" + std::to_string(e.histogram->count()) +
+               ",\"sum\":" + fmt_double(e.histogram->sum()) +
+               ",\"p50\":" + fmt_double(e.histogram->quantile(0.50)) +
+               ",\"p95\":" + fmt_double(e.histogram->quantile(0.95)) +
+               ",\"p99\":" + fmt_double(e.histogram->quantile(0.99)) + "}";
+        break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry;  // leaked: outlives any static user
+  return *r;
+}
+
+}  // namespace stepping::obs

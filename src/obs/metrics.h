@@ -1,0 +1,125 @@
+// Lock-free metrics registry: counters, gauges, log-scale latency
+// histograms, with Prometheus-text and JSON exposition (ISSUE 3).
+//
+// Hot-path contract: Counter::inc, Gauge::set/add/max_of and
+// Histogram::observe touch only std::atomic with relaxed ordering — no
+// locks, no allocation. The registry's mutex guards registration (done once
+// at setup, handles are stable references) and exposition (reads a
+// consistent name set; the values themselves are racy-by-design monotonic
+// atomics, which is the standard Prometheus model).
+//
+// Ownership: Registry instances are independent (serve::Server owns one per
+// server so tests can run servers side by side); Registry::global() is the
+// process-wide registry for library-level metrics.
+//
+// Exposition is deterministic: metrics are emitted in lexicographic name
+// order with fixed float formatting, so two snapshots of identical values
+// produce identical text (the kStats TCP round-trip test relies on this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace stepping::obs {
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time signed value (queue depth, high-water marks).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  /// Raise to `v` if larger (lock-free high-water mark).
+  void max_of(std::int64_t v) {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket log-scale histogram for positive measurements (latency in
+/// ms, but any positive double works). Bucket upper bounds grow by 2^(1/4)
+/// (~19% resolution) from kFirstBound; the final bucket catches overflow.
+/// Quantiles are estimated from the buckets with linear interpolation
+/// inside the containing bucket — accurate to one bucket width.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 96;
+  static constexpr double kFirstBound = 1e-3;  ///< everything <= 1e-3 (and
+                                               ///< all v <= 0) lands here
+
+  /// Upper bound of bucket `i` (the last bucket reports its lower edge
+  /// times the growth factor; conceptually it is +inf).
+  static double bucket_bound(int i);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+  /// Quantile estimate, q in [0, 1]. Returns 0 when empty. quantile(0.5)
+  /// is the median; monotone in q.
+  double quantile(double q) const;
+
+  /// Relaxed snapshot of per-bucket counts (size kNumBuckets).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named metric store. Handles returned by counter()/gauge()/histogram()
+/// are valid for the registry's lifetime.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Prometheus text exposition format (counters, gauges, cumulative
+  /// histogram buckets + _sum/_count).
+  std::string to_prometheus() const;
+
+  /// One flat JSON object: scalars for counters/gauges, nested objects
+  /// with count/sum/p50/p95/p99 for histograms. Deterministic ordering
+  /// and formatting.
+  std::string to_json() const;
+
+  /// Process-wide registry for library-level metrics.
+  static Registry& global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& find_or_create(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  ///< ordered => stable exposition
+};
+
+}  // namespace stepping::obs

@@ -1,0 +1,236 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/env.h"
+#include "util/log.h"
+
+namespace stepping::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_on{false};
+}  // namespace detail
+
+namespace {
+
+/// Sentinel category marking counter samples inside the span-event buffers
+/// (value lives in dur_ns). Compared by pointer identity.
+const char kCounterCat[] = "__counter__";
+
+struct Event {
+  const char* name;
+  const char* cat;
+  std::int64_t start_ns;
+  std::int64_t dur_ns;
+};
+
+/// Per-thread event buffer: single writer (the owning thread), published to
+/// the flusher through the release store on `count`. Slots are written at
+/// most once between resets (fill-and-drop, no wrapping), so the flusher
+/// never reads a slot that is being rewritten.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::size_t capacity) { slots.resize(capacity); }
+
+  std::vector<Event> slots;
+  std::atomic<std::size_t> count{0};
+  std::atomic<std::size_t> dropped{0};
+  std::uint32_t tid = 0;
+  std::string name;  ///< written under Registry::mu only
+};
+
+/// Global tracer state. Deliberately leaked so that the process-exit flush
+/// and late-exiting threads can never touch a destroyed object.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;  // never shrunk
+  std::string path;
+  std::size_t capacity = 0;  ///< for buffers created from now on
+  std::chrono::steady_clock::time_point epoch;
+  bool exit_flush_registered = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+std::size_t default_capacity() {
+  const long env = env_or_int("STEPPING_TRACE_BUF", 0);
+  return env > 0 ? static_cast<std::size_t>(env) : (std::size_t{1} << 18);
+}
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+thread_local std::string tls_pending_name;  ///< set before first event
+
+ThreadBuffer& local_buffer() {
+  if (tls_buffer == nullptr) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (r.capacity == 0) r.capacity = default_capacity();
+    auto buf = std::make_unique<ThreadBuffer>(r.capacity);
+    buf->tid = static_cast<std::uint32_t>(r.buffers.size());
+    buf->name = tls_pending_name;
+    tls_buffer = buf.get();
+    r.buffers.push_back(std::move(buf));
+  }
+  return *tls_buffer;
+}
+
+void append(ThreadBuffer& buf, const Event& e) {
+  const std::size_t at = buf.count.load(std::memory_order_relaxed);
+  if (at >= buf.slots.size()) {
+    buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.slots[at] = e;
+  buf.count.store(at + 1, std::memory_order_release);
+}
+
+/// Minimal JSON string escaping (names are library-controlled literals, but
+/// thread names may come from anywhere).
+void write_escaped(std::FILE* f, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', f);
+      std::fputc(c, f);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", c);
+    } else {
+      std::fputc(c, f);
+    }
+  }
+}
+
+void exit_flush() { trace_stop(); }
+
+/// STEPPING_TRACE=<path> arms the tracer before main() runs.
+struct EnvInit {
+  EnvInit() {
+    const std::string path = env_or("STEPPING_TRACE", "");
+    if (!path.empty()) trace_start(path);
+  }
+} g_env_init;
+
+}  // namespace
+
+namespace detail {
+
+std::int64_t trace_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - registry().epoch)
+      .count();
+}
+
+void record_span(const char* name, const char* cat, std::int64_t start_ns,
+                 std::int64_t end_ns) {
+  append(local_buffer(), Event{name, cat, start_ns, end_ns - start_ns});
+}
+
+void record_counter(const char* name, std::int64_t value) {
+  append(local_buffer(), Event{name, kCounterCat, trace_now_ns(), value});
+}
+
+}  // namespace detail
+
+void trace_start(const std::string& path, std::size_t buffer_events) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.path = path;
+  if (buffer_events > 0) r.capacity = buffer_events;
+  if (!detail::g_trace_on.load(std::memory_order_relaxed)) {
+    r.epoch = std::chrono::steady_clock::now();
+  }
+  if (!r.exit_flush_registered) {
+    std::atexit(exit_flush);
+    r.exit_flush_registered = true;
+  }
+  detail::g_trace_on.store(true, std::memory_order_relaxed);
+}
+
+TraceStats trace_stop() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  detail::g_trace_on.store(false, std::memory_order_relaxed);
+  TraceStats stats;
+  if (r.path.empty()) return stats;
+
+  std::size_t total = 0;
+  for (const auto& buf : r.buffers) {
+    total += buf->count.load(std::memory_order_acquire);
+  }
+  if (total == 0) return stats;  // nothing recorded since the last flush
+
+  std::FILE* f = std::fopen(r.path.c_str(), "w");
+  if (f == nullptr) {
+    LOG_ERROR << "trace: cannot open " << r.path << " for writing";
+    return stats;
+  }
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+  bool first = true;
+  auto comma = [&] {
+    if (!first) std::fputc(',', f);
+    first = false;
+  };
+  for (const auto& buf : r.buffers) {
+    if (!buf->name.empty()) {
+      comma();
+      std::fprintf(f,
+                   "\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,"
+                   "\"tid\":%u,\"args\":{\"name\":\"",
+                   buf->tid);
+      write_escaped(f, buf->name.c_str());
+      std::fputs("\"}}", f);
+    }
+    const std::size_t n = buf->count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Event& e = buf->slots[i];
+      comma();
+      if (e.cat == kCounterCat) {
+        std::fputs("\n{\"ph\":\"C\",\"name\":\"", f);
+        write_escaped(f, e.name);
+        std::fprintf(f,
+                     "\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                     "\"args\":{\"value\":%lld}}",
+                     buf->tid, static_cast<double>(e.start_ns) / 1000.0,
+                     static_cast<long long>(e.dur_ns));
+      } else {
+        std::fputs("\n{\"ph\":\"X\",\"name\":\"", f);
+        write_escaped(f, e.name);
+        std::fputs("\",\"cat\":\"", f);
+        write_escaped(f, e.cat);
+        std::fprintf(f, "\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                     buf->tid, static_cast<double>(e.start_ns) / 1000.0,
+                     static_cast<double>(e.dur_ns) / 1000.0);
+      }
+    }
+    stats.events += n;
+    stats.dropped += buf->dropped.load(std::memory_order_relaxed);
+    buf->count.store(0, std::memory_order_relaxed);
+    buf->dropped.store(0, std::memory_order_relaxed);
+  }
+  std::fputs("\n]}\n", f);
+  std::fclose(f);
+  LOG_INFO << "trace: wrote " << stats.events << " events to " << r.path
+           << (stats.dropped != 0
+                   ? " (" + std::to_string(stats.dropped) +
+                         " dropped; raise STEPPING_TRACE_BUF)"
+                   : "");
+  return stats;
+}
+
+void trace_thread_name(const std::string& name) {
+  tls_pending_name = name;
+  if (tls_buffer != nullptr) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    tls_buffer->name = name;
+  }
+}
+
+}  // namespace stepping::obs

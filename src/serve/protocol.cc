@@ -68,7 +68,9 @@ bool decode_request(const std::vector<std::uint8_t>& payload,
   std::uint8_t opcode = 0;
   if (!get(payload, at, opcode)) return false;
   req.opcode = static_cast<Opcode>(opcode);
-  if (req.opcode == Opcode::kShutdown) return at == payload.size();
+  if (req.opcode == Opcode::kShutdown || req.opcode == Opcode::kStats) {
+    return at == payload.size();
+  }
   if (req.opcode != Opcode::kInfer) return false;
   if (!get(payload, at, req.deadline_ms) || !get(payload, at, req.mac_budget) ||
       !get(payload, at, req.c) || !get(payload, at, req.h) ||

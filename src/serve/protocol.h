@@ -6,7 +6,7 @@
 // is performed; the fixed-width layout below is the contract.
 //
 // Request payload:
-//   u8  opcode            0 = infer, 1 = shutdown server
+//   u8  opcode            0 = infer, 1 = shutdown server, 2 = stats
 //   f64 deadline_ms       relative deadline; <= 0 = none        (infer only)
 //   i64 mac_budget        per-request MAC budget; 0 = unlimited (infer only)
 //   u32 c, h, w           input image shape                     (infer only)
@@ -23,6 +23,10 @@
 //   f32 logits[num_logits]
 //
 // A shutdown request is acknowledged with an empty (zero-length) frame.
+//
+// A stats request (opcode only, no further fields) is answered with one
+// frame whose payload is the raw UTF-8 bytes of the server's metrics
+// registry JSON snapshot (serve::Server::metrics_json()).
 #pragma once
 
 #include <cstdint>
@@ -32,7 +36,7 @@
 
 namespace stepping::serve {
 
-enum class Opcode : std::uint8_t { kInfer = 0, kShutdown = 1 };
+enum class Opcode : std::uint8_t { kInfer = 0, kShutdown = 1, kStats = 2 };
 
 /// Frames larger than this are rejected and the connection dropped
 /// (defensive bound; a 512x512x64 float image is ~64 MiB).

@@ -8,13 +8,27 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/env.h"
 
 namespace stepping::serve {
 
 namespace {
+
 constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+/// Static span names for the per-level ladder steps (span names must
+/// outlive the trace flush, so no on-the-fly strings).
+const char* step_span_name(int level) {
+  static const char* const kNames[] = {
+      "serve.step.1", "serve.step.2", "serve.step.3", "serve.step.4",
+      "serve.step.5", "serve.step.6", "serve.step.7", "serve.step.8",
+  };
+  constexpr int kMax = static_cast<int>(sizeof(kNames) / sizeof(kNames[0]));
+  return (level >= 1 && level <= kMax) ? kNames[level - 1] : "serve.step";
+}
+
 }  // namespace
 
 double CounterSnapshot::batch_occupancy() const {
@@ -79,9 +93,29 @@ Server::Server(const Network& model, ServeConfig cfg)
   planner_ = std::make_unique<Planner>(
       measure_level_costs(replicas_.front(), cfg_.max_subnet), cfg_.device);
 
-  stats_.step_passes_per_subnet.assign(
-      static_cast<std::size_t>(cfg_.max_subnet), 0);
-  stats_.exits_per_subnet.assign(static_cast<std::size_t>(cfg_.max_subnet), 0);
+  // Resolve every metric handle up front; workers only touch atomics.
+  m_.submitted = &registry_.counter("serve_submitted_total");
+  m_.rejected = &registry_.counter("serve_rejected_total");
+  m_.completed = &registry_.counter("serve_completed_total");
+  m_.deadline_misses = &registry_.counter("serve_deadline_misses_total");
+  m_.batches = &registry_.counter("serve_batches_total");
+  m_.batched_inputs = &registry_.counter("serve_batched_inputs_total");
+  m_.total_macs = &registry_.counter("serve_macs_total");
+  m_.reuse_macs_saved = &registry_.counter("serve_reuse_macs_saved_total");
+  m_.queue_depth = &registry_.gauge("serve_queue_depth");
+  m_.peak_queue_depth = &registry_.gauge("serve_peak_queue_depth");
+  m_.queue_ms = &registry_.histogram("serve_queue_ms");
+  m_.first_result_ms = &registry_.histogram("serve_first_result_ms");
+  m_.final_ms = &registry_.histogram("serve_final_ms");
+  m_.batch_ms = &registry_.histogram("serve_batch_ms");
+  for (int l = 1; l <= cfg_.max_subnet; ++l) {
+    m_.step_passes.push_back(&registry_.counter(
+        "serve_step_passes_subnet_" + std::to_string(l) + "_total"));
+    m_.exits.push_back(&registry_.counter("serve_exits_subnet_" +
+                                          std::to_string(l) + "_total"));
+    m_.level_ms.push_back(
+        &registry_.histogram("serve_level_ms_subnet_" + std::to_string(l)));
+  }
 
   workers_.reserve(static_cast<std::size_t>(cfg_.num_workers));
   for (int w = 0; w < cfg_.num_workers; ++w) {
@@ -110,10 +144,9 @@ std::future<ServedResult> Server::submit(Request req) {
   const Network& ref = replicas_.front();
   if (x.rank() != 4 || x.dim(0) != 1 || x.dim(1) != ref.input_channels() ||
       x.dim(2) != ref.input_h() || x.dim(3) != ref.input_w()) {
+    m_.rejected->inc();
     job.promise.set_exception(std::make_exception_ptr(std::invalid_argument(
         "serve: input must be (1, C, H, W) matching the model")));
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.rejected;
     return fut;
   }
 
@@ -127,46 +160,81 @@ std::future<ServedResult> Server::submit(Request req) {
       req.mac_budget > 0 ? req.mac_budget : cfg_.default_mac_budget;
   job.on_step = std::move(req.on_step);
 
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.submitted;
-  }
+  m_.submitted->inc();
   if (stopped_.load() || !queue_.push(std::move(job))) {
     // push() leaves the job untouched on failure, so the promise is intact.
+    m_.rejected->inc();
     job.promise.set_exception(std::make_exception_ptr(
         std::runtime_error("serve: queue full or server stopped")));
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.rejected;
     return fut;
   }
-  {
-    const std::uint64_t depth = queue_.depth();
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, depth);
-  }
+  const auto depth = static_cast<std::int64_t>(queue_.depth());
+  m_.queue_depth->set(depth);
+  m_.peak_queue_depth->max_of(depth);
+  obs::trace_counter("serve.queue_depth", depth);
   return fut;
 }
 
 ServedResult Server::serve(Request req) { return submit(std::move(req)).get(); }
 
 CounterSnapshot Server::counters() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  CounterSnapshot snap = stats_;
+  // Read order is the REVERSE of the writer's increment order
+  // (process_batch bumps completed first, then misses/exits/batch counters;
+  // submit bumps submitted before any completion is possible). Reading the
+  // dependent counters first keeps the snapshot invariants —
+  // misses <= completed, sum(exits) <= completed, completed <= submitted —
+  // intact even when a batch lands between two reads.
+  CounterSnapshot snap;
+  for (const obs::Counter* c : m_.exits) {
+    snap.exits_per_subnet.push_back(c->value());
+  }
+  for (const obs::Counter* c : m_.step_passes) {
+    snap.step_passes_per_subnet.push_back(c->value());
+  }
+  snap.deadline_misses = m_.deadline_misses->value();
+  snap.batches = m_.batches->value();
+  snap.batched_inputs = m_.batched_inputs->value();
+  snap.completed = m_.completed->value();
+  snap.submitted = m_.submitted->value();
+  snap.rejected = m_.rejected->value();
   snap.queue_depth = queue_.depth();
+  snap.peak_queue_depth =
+      static_cast<std::uint64_t>(m_.peak_queue_depth->value());
+  snap.total_macs = static_cast<std::int64_t>(m_.total_macs->value());
   return snap;
 }
 
+std::string Server::metrics_json() const {
+  m_.queue_depth->set(static_cast<std::int64_t>(queue_.depth()));
+  return registry_.to_json();
+}
+
+std::string Server::metrics_prometheus() const {
+  m_.queue_depth->set(static_cast<std::int64_t>(queue_.depth()));
+  return registry_.to_prometheus();
+}
+
 void Server::worker_main(std::size_t worker_id) {
+  obs::trace_thread_name("serve.worker." + std::to_string(worker_id));
   Network& net = replicas_[worker_id];
   IncrementalExecutor ex(net);
   std::vector<Job> batch;
-  while (queue_.pop_batch(cfg_.max_batch, batch)) {
+  for (;;) {
+    bool got;
+    {
+      STEPPING_TRACE_SCOPE_CAT("serve", "serve.queue_wait");
+      got = queue_.pop_batch(cfg_.max_batch, batch);
+    }
+    if (!got) break;
+    obs::trace_counter("serve.queue_depth",
+                       static_cast<std::int64_t>(queue_.depth()));
     process_batch(net, ex, batch);
   }
 }
 
 void Server::process_batch(Network& net, IncrementalExecutor& ex,
                            std::vector<Job>& jobs) {
+  STEPPING_TRACE_SCOPE_CAT("serve", "serve.batch");
   const int b = static_cast<int>(jobs.size());
   const int c = net.input_channels(), h = net.input_h(), w = net.input_w();
   const double start_ms = now_ms();
@@ -174,11 +242,14 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
   // Stack the micro-batch: all rows execute the same subnet at every step,
   // so each pass is one batched forward through the parallel GEMM path.
   Tensor x({b, c, h, w});
-  const std::int64_t img = static_cast<std::int64_t>(c) * h * w;
-  for (int j = 0; j < b; ++j) {
-    std::memcpy(x.data() + static_cast<std::size_t>(j) * img,
-                jobs[j].input.data(),
-                sizeof(float) * static_cast<std::size_t>(img));
+  {
+    STEPPING_TRACE_SCOPE_CAT("serve", "serve.form");
+    const std::int64_t img = static_cast<std::int64_t>(c) * h * w;
+    for (int j = 0; j < b; ++j) {
+      std::memcpy(x.data() + static_cast<std::size_t>(j) * img,
+                  jobs[j].input.data(),
+                  sizeof(float) * static_cast<std::size_t>(img));
+    }
   }
 
   struct Live {
@@ -210,6 +281,8 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
   Tensor probs;
   int active = b;
   for (int level = 1; level <= cfg_.max_subnet && active > 0; ++level) {
+    obs::TraceScope step_span(step_span_name(level), "serve");
+    const double level_start = now_ms();
     Tensor y;
     std::int64_t step_img = 0;
     if (cfg_.reuse) {
@@ -224,11 +297,18 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
     }
     const double now = now_ms();
     softmax_rows(y, probs);
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.step_passes_per_subnet[static_cast<std::size_t>(level - 1)];
-      stats_.total_macs += step_img * active;
+    m_.step_passes[static_cast<std::size_t>(level - 1)]->inc();
+    m_.total_macs->inc(static_cast<std::uint64_t>(step_img * active));
+    if (cfg_.reuse) {
+      // MACs a no-reuse baseline would have paid for this pass, minus what
+      // incremental execution actually cost.
+      const std::int64_t full =
+          planner_->costs().full[static_cast<std::size_t>(level - 1)];
+      const std::int64_t saved = (full - step_img) * active;
+      if (saved > 0) m_.reuse_macs_saved->inc(static_cast<std::uint64_t>(saved));
     }
+    m_.level_ms[static_cast<std::size_t>(level - 1)]->observe(now -
+                                                              level_start);
 
     const int classes = y.dim(1);
     for (int j = 0; j < b; ++j) {
@@ -286,6 +366,8 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
 
   // Update the counters BEFORE fulfilling any promise: a caller observing
   // its future resolved must also observe its request in the counters.
+  // `completed` is bumped first so that any concurrent snapshot sees
+  // misses <= completed and sum(exits) <= completed.
   std::uint64_t misses = 0;
   std::vector<std::uint64_t> exits(static_cast<std::size_t>(cfg_.max_subnet),
                                    0);
@@ -294,17 +376,16 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
     if (lv.missed) ++misses;
     ++exits[static_cast<std::size_t>(lv.exit_level - 1)];
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.completed += static_cast<std::uint64_t>(b);
-    stats_.deadline_misses += misses;
-    ++stats_.batches;
-    stats_.batched_inputs += static_cast<std::uint64_t>(b);
-    for (std::size_t i = 0; i < exits.size(); ++i) {
-      stats_.exits_per_subnet[i] += exits[i];
-    }
+  m_.completed->inc(static_cast<std::uint64_t>(b));
+  m_.deadline_misses->inc(misses);
+  for (std::size_t i = 0; i < exits.size(); ++i) {
+    if (exits[i] != 0) m_.exits[i]->inc(exits[i]);
   }
+  m_.batches->inc();
+  m_.batched_inputs->inc(static_cast<std::uint64_t>(b));
+  m_.batch_ms->observe(now_ms() - start_ms);
 
+  STEPPING_TRACE_SCOPE_CAT("serve", "serve.publish");
   for (int j = 0; j < b; ++j) {
     Live& lv = live[static_cast<std::size_t>(j)];
     ServedResult res;
@@ -316,6 +397,9 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
     res.queue_ms = start_ms - jobs[j].submit_ms;
     res.first_result_ms = lv.first_ms;
     res.final_ms = lv.final_ms;
+    m_.queue_ms->observe(res.queue_ms);
+    m_.first_result_ms->observe(res.first_result_ms);
+    m_.final_ms->observe(res.final_ms);
     res.steps = std::move(lv.steps);
     jobs[j].promise.set_value(std::move(res));
   }

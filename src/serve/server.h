@@ -26,10 +26,20 @@
 // reuse is exact, so batching and stepping change *when* work happens, never
 // the answer.
 //
-// Thread-safety: Server is internally synchronized; submit()/counters() may
-// be called from any thread. Each worker owns its Network clone and
-// IncrementalExecutor exclusively (see core/incremental.h — the executor is
-// deliberately not thread-safe).
+// Thread-safety: Server is internally synchronized; submit()/counters()/
+// metrics_json() may be called from any thread. Each worker owns its Network
+// clone and IncrementalExecutor exclusively (see core/incremental.h — the
+// executor is deliberately not thread-safe).
+//
+// Telemetry (ISSUE 3): every server owns an obs::Registry of lock-free
+// counters, gauges and latency histograms (queue wait, first/final result,
+// per-level step time, batch time, exit-level distribution, deadline misses,
+// reuse-MACs-saved). Counter updates are ordered so that at ANY concurrent
+// snapshot misses <= completed and sum(exits) <= completed, with exact
+// equality once the server is quiescent. The legacy CounterSnapshot view is
+// assembled from the same registry handles. The serve path is additionally
+// instrumented with trace spans (serve.queue_wait / serve.form /
+// serve.step.L / serve.publish) and a serve.queue_depth counter track.
 #pragma once
 
 #include <atomic>
@@ -43,6 +53,7 @@
 #include "core/incremental.h"
 #include "core/latency.h"
 #include "nn/network.h"
+#include "obs/metrics.h"
 #include "serve/planner.h"
 #include "serve/queue.h"
 #include "serve/result.h"
@@ -80,7 +91,10 @@ struct ServeConfig {
   DeviceModel device;
 };
 
-/// Monotonic counters, snapshotted atomically under the server's stats lock.
+/// Legacy aggregate view, assembled from the server's metrics registry.
+/// Each field is a relaxed atomic read; cross-field invariants (misses <=
+/// completed, sum(exits) <= completed) hold at any snapshot by update
+/// ordering, with equality once the server is idle.
 struct CounterSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t rejected = 0;
@@ -120,6 +134,18 @@ class Server {
   ServedResult serve(Request req);
 
   CounterSnapshot counters() const;
+
+  /// The server's metrics registry (counters/gauges/histograms). Handles
+  /// obtained from it stay valid for the server's lifetime.
+  obs::Registry& metrics() const { return registry_; }
+
+  /// JSON snapshot of every metric (the kStats TCP frame's payload).
+  /// Refreshes the queue-depth gauge first.
+  std::string metrics_json() const;
+
+  /// Prometheus text exposition of the same registry.
+  std::string metrics_prometheus() const;
+
   const Planner& planner() const { return *planner_; }
   const ServeConfig& config() const { return cfg_; }
 
@@ -147,8 +173,28 @@ class Server {
   std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<bool> stopped_{false};
 
-  mutable std::mutex stats_mutex_;
-  CounterSnapshot stats_;  ///< queue_depth filled at snapshot time
+  mutable obs::Registry registry_;
+  /// Handles into registry_, resolved once in the constructor so the hot
+  /// path never touches the registry map.
+  struct Metrics {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* deadline_misses = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* batched_inputs = nullptr;
+    obs::Counter* total_macs = nullptr;
+    obs::Counter* reuse_macs_saved = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* peak_queue_depth = nullptr;
+    std::vector<obs::Counter*> step_passes;  ///< per subnet level
+    std::vector<obs::Counter*> exits;        ///< per subnet level
+    obs::Histogram* queue_ms = nullptr;
+    obs::Histogram* first_result_ms = nullptr;
+    obs::Histogram* final_ms = nullptr;
+    obs::Histogram* batch_ms = nullptr;
+    std::vector<obs::Histogram*> level_ms;   ///< per subnet level
+  } m_;
 };
 
 }  // namespace stepping::serve

@@ -90,6 +90,14 @@ void TcpServer::handle_connection(int fd) {
       stop();
       break;
     }
+    if (req.opcode == Opcode::kStats) {
+      const std::string json = server_.metrics_json();
+      if (!write_frame(fd, std::vector<std::uint8_t>(json.begin(),
+                                                     json.end()))) {
+        break;
+      }
+      continue;
+    }
     Request request;
     request.input =
         Tensor({1, static_cast<int>(req.c), static_cast<int>(req.h),
@@ -158,6 +166,16 @@ bool TcpClient::shutdown_server() {
   if (!write_frame(fd_, encode_request(req))) return false;
   std::vector<std::uint8_t> payload;
   return read_frame(fd_, payload) && payload.empty();
+}
+
+bool TcpClient::stats(std::string& json_out) {
+  WireRequest req;
+  req.opcode = Opcode::kStats;
+  if (!write_frame(fd_, encode_request(req))) return false;
+  std::vector<std::uint8_t> payload;
+  if (!read_frame(fd_, payload) || payload.empty()) return false;
+  json_out.assign(payload.begin(), payload.end());
+  return true;
 }
 
 }  // namespace stepping::serve

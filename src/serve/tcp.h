@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -64,6 +65,10 @@ class TcpClient {
 
   /// Send kShutdown and wait for the empty ack frame.
   bool shutdown_server();
+
+  /// Poll the server's live metrics: sends kStats, fills `json_out` with
+  /// the registry's JSON snapshot.
+  bool stats(std::string& json_out);
 
  private:
   int fd_ = -1;

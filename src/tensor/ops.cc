@@ -6,6 +6,7 @@
 #include <cstring>
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace stepping {
@@ -22,6 +23,7 @@ namespace stepping {
 // ---------------------------------------------------------------------------
 
 void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "gemm");
   assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
@@ -48,6 +50,7 @@ void gemm_tn(const Tensor& at, const Tensor& b, Tensor& c, bool accumulate) {
   // C(MxN) = At^T * B, At is (K x M), B is (K x N). The contraction stays
   // outermost within each chunk (streams B once per chunk) while output
   // rows are partitioned, so no two threads accumulate into the same row.
+  STEPPING_TRACE_SCOPE_CAT("kernel", "gemm_tn");
   assert(at.rank() == 2 && b.rank() == 2 && c.rank() == 2);
   const int k = at.dim(0), m = at.dim(1), n = b.dim(1);
   assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
@@ -72,6 +75,7 @@ void gemm_tn(const Tensor& at, const Tensor& b, Tensor& c, bool accumulate) {
 
 void gemm_nt(const Tensor& a, const Tensor& bt, Tensor& c, bool accumulate) {
   // C(MxN) = A(MxK) * Bt^T, Bt is (N x K).
+  STEPPING_TRACE_SCOPE_CAT("kernel", "gemm_nt");
   assert(a.rank() == 2 && bt.rank() == 2 && c.rank() == 2);
   const int m = a.dim(0), k = a.dim(1), n = bt.dim(0);
   assert(bt.dim(1) == k && c.dim(0) == m && c.dim(1) == n);
@@ -96,6 +100,7 @@ void gemm_nt(const Tensor& a, const Tensor& bt, Tensor& c, bool accumulate) {
 
 void gemm_rows(const Tensor& a, const Tensor& b, Tensor& c,
                const unsigned char* row_active) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "gemm_rows");
   assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
@@ -122,6 +127,7 @@ void gemm_rows(const Tensor& a, const Tensor& b, Tensor& c,
 
 void gemm_nt_cols(const Tensor& a, const Tensor& bt, Tensor& c,
                   const unsigned char* col_active) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "gemm_nt_cols");
   assert(a.rank() == 2 && bt.rank() == 2 && c.rank() == 2);
   const int m = a.dim(0), k = a.dim(1), n = bt.dim(0);
   assert(bt.dim(1) == k && c.dim(0) == m && c.dim(1) == n);
@@ -146,6 +152,7 @@ void gemm_nt_cols(const Tensor& a, const Tensor& bt, Tensor& c,
 
 void gemm_nt_rows_acc(const Tensor& a, const Tensor& bt, Tensor& c,
                       const unsigned char* row_active) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "gemm_nt_rows_acc");
   assert(a.rank() == 2 && bt.rank() == 2 && c.rank() == 2);
   const int m = a.dim(0), k = a.dim(1), n = bt.dim(0);
   assert(bt.dim(1) == k && c.dim(0) == m && c.dim(1) == n);
@@ -170,6 +177,7 @@ void gemm_nt_rows_acc(const Tensor& a, const Tensor& bt, Tensor& c,
 
 void gemm_tn_rows(const Tensor& at, const Tensor& b, Tensor& c,
                   const unsigned char* k_active) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "gemm_tn_rows");
   assert(at.rank() == 2 && b.rank() == 2 && c.rank() == 2);
   const int k = at.dim(0), m = at.dim(1), n = b.dim(1);
   assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
@@ -198,6 +206,7 @@ void gemm_tn_rows(const Tensor& at, const Tensor& b, Tensor& c,
 // ---------------------------------------------------------------------------
 
 void im2col(const float* x, const Conv2dGeometry& g, float* cols) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "im2col");
   const int oh = g.out_h(), ow = g.out_w();
   const int spatial = oh * ow;
   const int kk = g.kernel * g.kernel;
@@ -240,6 +249,7 @@ void im2col(const float* x, const Conv2dGeometry& g, float* cols) {
 // exactly the serial (kh, kw, y, x) order. Result: bitwise identical to the
 // serial loop for any thread count, same as the rest of the kernel family.
 void col2im(const float* cols, const Conv2dGeometry& g, float* x) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "col2im");
   const int oh = g.out_h(), ow = g.out_w();
   const int spatial = oh * ow;
   const std::int64_t kk = static_cast<std::int64_t>(g.kernel) * g.kernel;
@@ -361,6 +371,7 @@ void global_avgpool_backward(const Tensor& grad_y, int h, int w, Tensor& grad_x)
 // ---------------------------------------------------------------------------
 
 void softmax_rows(const Tensor& logits, Tensor& probs) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "softmax_rows");
   assert(logits.rank() == 2);
   const int n = logits.dim(0), c = logits.dim(1);
   if (probs.shape() != logits.shape()) probs = Tensor(logits.shape());
@@ -386,6 +397,7 @@ void softmax_rows(const Tensor& logits, Tensor& probs) {
 }
 
 void relu_forward(const Tensor& x, Tensor& y, std::vector<unsigned char>& mask) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "relu_forward");
   if (y.shape() != x.shape()) y = Tensor(x.shape());
   mask.assign(static_cast<std::size_t>(x.numel()), 0);
   const float* px = x.data();
@@ -402,6 +414,7 @@ void relu_forward(const Tensor& x, Tensor& y, std::vector<unsigned char>& mask) 
 
 void relu_backward(const Tensor& grad_y, const std::vector<unsigned char>& mask,
                    Tensor& grad_x) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "relu_backward");
   if (grad_x.shape() != grad_y.shape()) grad_x = Tensor(grad_y.shape());
   const float* gy = grad_y.data();
   float* gx = grad_x.data();

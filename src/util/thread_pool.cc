@@ -1,10 +1,14 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/env.h"
 
 namespace stepping {
@@ -18,6 +22,20 @@ thread_local int tls_parallel_depth = 0;
 std::unique_ptr<ThreadPool>& global_slot() {
   static std::unique_ptr<ThreadPool> pool;
   return pool;
+}
+
+/// Published pointer for the lock-free fast path of ThreadPool::global().
+/// Lazy creation races when two threads hit global() concurrently (e.g. two
+/// serve workers on first inference), so creation is mutex-guarded and the
+/// result is release-published here.
+std::atomic<ThreadPool*>& global_published() {
+  static std::atomic<ThreadPool*> ptr{nullptr};
+  return ptr;
+}
+
+std::mutex& global_mutex() {
+  static std::mutex mu;
+  return mu;
 }
 
 }  // namespace
@@ -40,6 +58,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  obs::trace_thread_name("pool.worker");
   for (;;) {
     std::function<void()> task;
     {
@@ -50,7 +69,10 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     ++tls_parallel_depth;
-    task();  // never throws: chunks capture their own exceptions
+    {
+      STEPPING_TRACE_SCOPE_CAT("pool", "pool.task");
+      task();  // never throws: chunks capture their own exceptions
+    }
     --tls_parallel_depth;
   }
 }
@@ -122,13 +144,25 @@ void ThreadPool::parallel_for(
 }
 
 ThreadPool& ThreadPool::global() {
+  ThreadPool* fast = global_published().load(std::memory_order_acquire);
+  if (fast) return *fast;
+  std::lock_guard<std::mutex> lock(global_mutex());
   auto& slot = global_slot();
-  if (!slot) slot = std::make_unique<ThreadPool>(default_threads());
+  if (!slot) {
+    slot = std::make_unique<ThreadPool>(default_threads());
+    global_published().store(slot.get(), std::memory_order_release);
+  }
   return *slot;
 }
 
 void ThreadPool::set_global_threads(int threads) {
+  // Replacing the pool while other threads run parallel work on it is not
+  // supported (callers use this at startup / between test phases); the
+  // published pointer is cleared first so stragglers at worst re-lock.
+  std::lock_guard<std::mutex> lock(global_mutex());
+  global_published().store(nullptr, std::memory_order_release);
   global_slot() = std::make_unique<ThreadPool>(threads);
+  global_published().store(global_slot().get(), std::memory_order_release);
 }
 
 int ThreadPool::default_threads() {

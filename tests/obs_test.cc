@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace stepping::obs {
+namespace {
+
+TEST(ObsCounter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsGauge, SetAddMax) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.max_of(5);
+  EXPECT_EQ(g.value(), 7);  // lower value never lowers a high-water mark
+  g.max_of(99);
+  EXPECT_EQ(g.value(), 99);
+}
+
+TEST(ObsHistogram, BucketBoundsGrowLogScale) {
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(0), Histogram::kFirstBound);
+  for (int i = 1; i < Histogram::kNumBuckets; ++i) {
+    const double ratio =
+        Histogram::bucket_bound(i) / Histogram::bucket_bound(i - 1);
+    EXPECT_NEAR(ratio, 1.189207, 1e-5) << "bucket " << i;
+  }
+}
+
+TEST(ObsHistogram, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(ObsHistogram, SingleSampleQuantileWithinItsBucket) {
+  Histogram h;
+  h.observe(5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0);
+  // Every quantile of a one-sample histogram lies inside the bucket that
+  // holds the sample (~19% wide), and quantiles stay monotone in q.
+  double prev = 0.0;
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    EXPECT_NEAR(v, 5.0, 1.0) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(ObsHistogram, NonPositiveSamplesLandInFirstBucket) {
+  Histogram h;
+  h.observe(0.0);
+  h.observe(-3.5);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.quantile(1.0), Histogram::kFirstBound);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+}
+
+TEST(ObsHistogram, QuantilesOfUniformGridWithinBucketResolution) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i) / 100.0);
+  // Samples span 0.01..10; the true p50 is ~5, p95 ~9.5, p99 ~9.9.
+  EXPECT_NEAR(h.quantile(0.50), 5.0, 5.0 * 0.25);
+  EXPECT_NEAR(h.quantile(0.95), 9.5, 9.5 * 0.25);
+  EXPECT_NEAR(h.quantile(0.99), 9.9, 9.9 * 0.25);
+  EXPECT_LE(h.quantile(0.50), h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+}
+
+TEST(ObsHistogram, OverflowBucketCatchesHugeValues) {
+  Histogram h;
+  h.observe(1e12);  // far beyond the last finite bound
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket_counts().back(), 1u);
+  EXPECT_GT(h.quantile(1.0), 0.0);
+}
+
+TEST(ObsHistogram, ConcurrentObserveLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 8, kPer = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h] {
+      for (int i = 0; i < kPer; ++i) h.observe(1.0);
+    });
+  }
+  for (std::thread& t : ts) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPer);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * kPer);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : h.bucket_counts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(ObsRegistry, SameNameReturnsSameHandle) {
+  Registry r;
+  Counter& a = r.counter("x_total");
+  a.inc(3);
+  EXPECT_EQ(r.counter("x_total").value(), 3u);
+  EXPECT_EQ(&r.counter("x_total"), &a);
+}
+
+TEST(ObsRegistry, TypeMismatchThrows) {
+  Registry r;
+  r.counter("metric");
+  EXPECT_THROW(r.gauge("metric"), std::logic_error);
+  EXPECT_THROW(r.histogram("metric"), std::logic_error);
+}
+
+TEST(ObsRegistry, JsonIsDeterministicAndOrdered) {
+  Registry r;
+  r.gauge("b_gauge").set(-5);
+  r.counter("a_total").inc(7);
+  r.histogram("c_ms").observe(2.0);
+  const std::string j1 = r.to_json();
+  const std::string j2 = r.to_json();
+  EXPECT_EQ(j1, j2);  // identical values => identical text
+  // Lexicographic ordering regardless of registration order.
+  EXPECT_LT(j1.find("\"a_total\":7"), j1.find("\"b_gauge\":-5"));
+  EXPECT_LT(j1.find("\"b_gauge\":-5"), j1.find("\"c_ms\""));
+  EXPECT_NE(j1.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(j1.find("\"p99\":"), std::string::npos);
+  EXPECT_EQ(j1.front(), '{');
+  EXPECT_EQ(j1.back(), '}');
+}
+
+TEST(ObsRegistry, PrometheusExposition) {
+  Registry r;
+  r.counter("req_total").inc(4);
+  r.gauge("depth").set(2);
+  Histogram& h = r.histogram("lat_ms");
+  h.observe(1.0);
+  h.observe(2.0);
+  const std::string text = r.to_prometheus();
+  EXPECT_NE(text.find("# TYPE req_total counter\nreq_total 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\ndepth 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_sum 3"), std::string::npos);
+}
+
+TEST(ObsRegistry, GlobalIsSingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace stepping::obs

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/trace.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace stepping::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+/// Minimal structural JSON check: balanced braces/brackets outside strings.
+/// (CI additionally validates traces with python3 -m json.tool.)
+bool balanced_json(const std::string& s) {
+  int brace = 0, bracket = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++brace;
+    if (c == '}') --brace;
+    if (c == '[') ++bracket;
+    if (c == ']') --bracket;
+    if (brace < 0 || bracket < 0) return false;
+  }
+  return brace == 0 && bracket == 0 && !in_string;
+}
+
+TEST(ObsTrace, DisabledByDefaultRecordsNothing) {
+  ASSERT_FALSE(trace_enabled());
+  { STEPPING_TRACE_SCOPE("should.not.record"); }
+  trace_counter("should.not.record", 1);
+  // No path armed: stop is a no-op reporting zero events.
+  const TraceStats stats = trace_stop();
+  EXPECT_EQ(stats.events, 0u);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(ObsTrace, SpansAndCountersFlushToValidJson) {
+  const std::string path = temp_path("obs_trace_basic.json");
+  trace_start(path);
+  ASSERT_TRUE(trace_enabled());
+  trace_thread_name("test.main");
+  {
+    STEPPING_TRACE_SCOPE_CAT("testcat", "span.outer");
+    STEPPING_TRACE_SCOPE("span.inner");
+  }
+  trace_counter("test.depth", 3);
+  const TraceStats stats = trace_stop();
+  EXPECT_FALSE(trace_enabled());
+  EXPECT_EQ(stats.events, 3u);
+  EXPECT_EQ(stats.dropped, 0u);
+
+  const std::string json = slurp(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(balanced_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"span.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"span.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"testcat\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // counter event
+  EXPECT_NE(json.find("\"test.depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.main\""), std::string::npos);  // thread name
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, InstrumentedKernelEmitsSpans) {
+  const std::string path = temp_path("obs_trace_kernel.json");
+  Rng rng(5);
+  Tensor a({8, 8}), b({8, 8}), c({8, 8});
+  fill_normal(a, 0.0f, 1.0f, rng);
+  fill_normal(b, 0.0f, 1.0f, rng);
+
+  trace_start(path);
+  gemm(a, b, c, /*accumulate=*/false);
+  const TraceStats stats = trace_stop();
+  EXPECT_GE(stats.events, 1u);
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"gemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"kernel\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, TracingPreservesBitwiseResults) {
+  const std::string path = temp_path("obs_trace_parity.json");
+  Rng rng(11);
+  Tensor a({16, 24}), b({24, 12}), c_off({16, 12}), c_on({16, 12});
+  fill_normal(a, 0.0f, 1.0f, rng);
+  fill_normal(b, 0.0f, 1.0f, rng);
+
+  gemm(a, b, c_off, /*accumulate=*/false);
+  trace_start(path);
+  gemm(a, b, c_on, /*accumulate=*/false);
+  trace_stop();
+  EXPECT_EQ(std::memcmp(c_off.data(), c_on.data(),
+                        sizeof(float) * static_cast<std::size_t>(c_off.numel())),
+            0);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, FullBuffersDropInsteadOfWrapping) {
+  const std::string path = temp_path("obs_trace_drop.json");
+  // Capacity applies to buffers created AFTER trace_start, so record from a
+  // fresh thread (this thread's buffer may already exist at full size).
+  trace_start(path, /*buffer_events=*/16);
+  std::thread recorder([] {
+    for (int i = 0; i < 100; ++i) {
+      STEPPING_TRACE_SCOPE("drop.span");
+    }
+  });
+  recorder.join();
+  const TraceStats stats = trace_stop();
+  EXPECT_GE(stats.events, 16u);  // main-thread buffer may add a few
+  EXPECT_EQ(stats.dropped, 84u);
+  const std::string json = slurp(path);
+  EXPECT_TRUE(balanced_json(json));
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, RestartAfterStopRecordsAgain) {
+  const std::string path = temp_path("obs_trace_restart.json");
+  trace_start(path);
+  { STEPPING_TRACE_SCOPE("first.run"); }
+  const TraceStats s1 = trace_stop();
+  EXPECT_EQ(s1.events, 1u);
+
+  trace_start(path);
+  { STEPPING_TRACE_SCOPE("second.run"); }
+  const TraceStats s2 = trace_stop();
+  EXPECT_EQ(s2.events, 1u);  // buffers were reset by the first flush
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"second.run\""), std::string::npos);
+  EXPECT_EQ(json.find("\"first.run\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace stepping::obs

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -155,6 +156,51 @@ TEST(ServeTcp, MultiClientSmokeWithBitwiseParity) {
   const CounterSnapshot snap = server.counters();
   EXPECT_EQ(snap.completed, static_cast<std::uint64_t>(kClients * kPerClient));
   EXPECT_EQ(snap.rejected, 0u);
+}
+
+TEST(ServeTcp, StatsOpcodeReturnsInProcessMetricsJson) {
+  Network net = nested_net();
+  ServeConfig cfg;
+  cfg.max_subnet = 3;
+  cfg.num_workers = 1;
+  Server server(net, cfg);
+  TcpServer tcp(server, /*port=*/0);
+  ASSERT_GT(tcp.port(), 0);
+  std::thread loop([&] { tcp.run(); });
+
+  {
+    TcpClient client(tcp.port());
+    // Stats on a fresh server: valid JSON with zeroed serve counters.
+    std::string idle_json;
+    ASSERT_TRUE(client.stats(idle_json));
+    EXPECT_EQ(idle_json, server.metrics_json());
+    EXPECT_NE(idle_json.find("\"serve_completed_total\":0"),
+              std::string::npos);
+
+    // Run a few inferences, then verify the wire snapshot matches the
+    // in-process registry once the server is quiescent again.
+    for (int i = 0; i < 3; ++i) {
+      WireReply reply;
+      ASSERT_TRUE(client.infer(random_input(static_cast<std::uint64_t>(i)),
+                               /*deadline_ms=*/0.0, /*mac_budget=*/0, reply));
+      EXPECT_GT(reply.exit_subnet, 0u);
+    }
+    std::string busy_json;
+    ASSERT_TRUE(client.stats(busy_json));
+    // Exposition is deterministic (ordered names, fixed float formatting),
+    // so equal state must serialize to byte-equal text.
+    EXPECT_EQ(busy_json, server.metrics_json());
+    EXPECT_NE(busy_json.find("\"serve_completed_total\":3"),
+              std::string::npos);
+    EXPECT_NE(busy_json.find("\"serve_final_ms\""), std::string::npos);
+  }
+
+  {
+    TcpClient client(tcp.port());
+    EXPECT_TRUE(client.shutdown_server());
+  }
+  loop.join();
+  server.shutdown();
 }
 
 TEST(ServeTcp, StopUnblocksRunWithoutClients) {

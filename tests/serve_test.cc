@@ -10,6 +10,8 @@
 #include <future>
 #include <limits>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/latency.h"
@@ -427,6 +429,75 @@ TEST(ServeServer, MultiWorkerParityUnderConcurrentLoad) {
             static_cast<std::uint64_t>(kRequests));
   EXPECT_GE(snap.batches, 1u);
   EXPECT_EQ(snap.batched_inputs, static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(ServeServer, MetricsSnapshotConsistentUnderConcurrentLoad) {
+  Network net = nested_net();
+  ServeConfig cfg = base_config(/*workers=*/3);
+  Server server(net, cfg);
+
+  constexpr int kRequests = 48;
+  std::vector<std::future<ServedResult>> futures;
+  std::atomic<bool> done{false};
+
+  // Snapshot continuously while the load runs: the ordered counter updates
+  // must keep the invariants true at EVERY observation, not just at rest.
+  std::thread snapshotter([&] {
+    while (!done.load()) {
+      const CounterSnapshot s = server.counters();
+      const std::uint64_t exits_sum =
+          std::accumulate(s.exits_per_subnet.begin(), s.exits_per_subnet.end(),
+                          std::uint64_t{0});
+      EXPECT_LE(s.deadline_misses, s.completed);
+      EXPECT_LE(exits_sum, s.completed);
+      EXPECT_LE(s.completed, s.submitted);
+      EXPECT_LE(s.batched_inputs, s.completed);
+    }
+  });
+
+  for (int i = 0; i < kRequests; ++i) {
+    Request req;
+    req.input = random_input(500 + static_cast<std::uint64_t>(i));
+    req.mac_budget =
+        budget_for_exit(server.planner(), 1 + (i % 3), /*reuse=*/true);
+    futures.push_back(server.submit(std::move(req)));
+  }
+  for (auto& f : futures) f.get();
+  done.store(true);
+  snapshotter.join();
+
+  // Quiescent: the inequalities tighten to equalities.
+  const CounterSnapshot s = server.counters();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(std::accumulate(s.exits_per_subnet.begin(),
+                            s.exits_per_subnet.end(), std::uint64_t{0}),
+            static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(s.batched_inputs, static_cast<std::uint64_t>(kRequests));
+  EXPECT_LE(s.deadline_misses, s.completed);
+}
+
+TEST(ServeServer, MetricsJsonReflectsRegistryAndReuseSavings) {
+  Network net = nested_net();
+  Server server(net, base_config());
+  Request req;
+  req.input = random_input(90);
+  server.serve(std::move(req));  // full ladder: levels 2 and 3 reuse level 1
+
+  const std::string json = server.metrics_json();
+  EXPECT_NE(json.find("\"serve_completed_total\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"serve_exits_subnet_3_total\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"serve_final_ms\":{\"count\":1"), std::string::npos);
+  EXPECT_EQ(json, server.metrics_json()) << "idle snapshots are deterministic";
+
+  // Reuse must have saved MACs vs the no-reuse baseline on levels 2 and 3.
+  EXPECT_GT(server.metrics().counter("serve_reuse_macs_saved_total").value(),
+            0u);
+  const std::string prom = server.metrics_prometheus();
+  EXPECT_NE(prom.find("# TYPE serve_completed_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("serve_final_ms_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
 }
 
 TEST(ServeServer, ThreeDInputIsNormalized) {

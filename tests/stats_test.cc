@@ -69,5 +69,48 @@ TEST(Stats, MergeWithEmptySides) {
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
+TEST(Stats, MergeTwoEmpties) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Stats, MergeSingleSampleSides) {
+  // The Welford combination's delta term degenerates when both sides have
+  // one sample; the result must still match sequential accumulation.
+  RunningStats a, b, seq;
+  a.add(-4.0);
+  b.add(10.0);
+  seq.add(-4.0);
+  seq.add(10.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), seq.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), seq.variance());
+  EXPECT_DOUBLE_EQ(a.min(), -4.0);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+}
+
+TEST(Stats, MultiWayMergeMatchesSequential) {
+  // Simulates the parallel pattern: one accumulator per chunk, folded left.
+  Rng rng(21);
+  RunningStats all;
+  RunningStats chunks[4];
+  for (int i = 0; i < 4000; ++i) {
+    const double v = rng.normal(-1.0, 5.0);
+    all.add(v);
+    chunks[i % 4].add(v);
+  }
+  RunningStats merged;
+  for (RunningStats& c : chunks) merged.merge(c);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+}
+
 }  // namespace
 }  // namespace stepping

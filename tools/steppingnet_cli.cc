@@ -13,9 +13,13 @@
 //   steppingnet info --model lenet3c1l --in model.bin
 //   steppingnet latency --model lenet3c1l --in model.bin --deadline-ms 2.5
 //   steppingnet serve --model lenet3c1l --in model.bin --port 17707 --workers 2
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "core/latency.h"
 #include "core/macs.h"
@@ -29,6 +33,7 @@
 #include "serve/server.h"
 #include "serve/tcp.h"
 #include "util/cli.h"
+#include "util/log.h"
 #include "util/table.h"
 
 using namespace stepping;
@@ -65,6 +70,11 @@ serve:
   --confidence T      early-exit top-1 gate, 0 = off    (default 0)
   --mac-budget M      default per-request MAC budget, 0 = unlimited
   --no-reuse          disable incremental reuse (baseline mode)
+  --metrics-dump-sec N  print a metrics JSON snapshot every N seconds
+                        (a final snapshot always prints on shutdown)
+
+observability (env): STEPPING_TRACE=<path> writes a Chrome/Perfetto trace,
+STEPPING_LOG=<level> controls diagnostics; see the README env-var table.
 )";
 
 struct CommonConfig {
@@ -124,11 +134,11 @@ int cmd_train(const CliArgs& args) {
   const CommonConfig c = common_config(args);
   const std::string out = args.get("out");
   if (out.empty()) {
-    std::fprintf(stderr, "train: --out PATH is required\n");
+    LOG_ERROR << "train: --out PATH is required";
     return 2;
   }
   if (static_cast<int>(c.budgets.size()) != c.subnets) {
-    std::fprintf(stderr, "train: --budgets arity must equal --subnets\n");
+    LOG_ERROR << "train: --budgets arity must equal --subnets";
     return 2;
   }
   const DataSplit data =
@@ -160,7 +170,7 @@ int cmd_train(const CliArgs& args) {
   t.print("\nResults:");
 
   if (!save_network(sn.network(), out)) {
-    std::fprintf(stderr, "train: failed to write %s\n", out.c_str());
+    LOG_ERROR << "train: failed to write " << out;
     return 1;
   }
   std::printf("\nmodel saved to %s\n", out.c_str());
@@ -171,20 +181,19 @@ int cmd_train(const CliArgs& args) {
 int load_model(const CliArgs& args, const CommonConfig& c, Network& net) {
   const std::string in = args.get("in");
   if (in.empty()) {
-    std::fprintf(stderr, "--in PATH is required\n");
+    LOG_ERROR << "--in PATH is required";
     return 2;
   }
   net = build(c, c.expansion);
   try {
     if (!load_network(net, in)) {
-      std::fprintf(stderr, "failed to read %s\n", in.c_str());
+      LOG_ERROR << "failed to read " << in;
       return 1;
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "load failed: %s\n", e.what());
-    std::fprintf(stderr,
-                 "(the --model/--width/--expansion flags must match the "
-                 "values used at training time)\n");
+    LOG_ERROR << "load failed: " << e.what()
+              << " (the --model/--width/--expansion flags must match the "
+                 "values used at training time)";
     return 1;
   }
   return 0;
@@ -284,10 +293,41 @@ int cmd_serve(const CliArgs& args) {
               server.config().max_batch,
               cfg.reuse ? "incremental reuse" : "no-reuse baseline");
   std::fflush(stdout);
+
+  // Optional periodic metrics dump. The dumper sleeps on a condition
+  // variable so shutdown never waits out a full period.
+  const long dump_sec = args.get_int("metrics-dump-sec", 0);
+  std::mutex dump_mu;
+  std::condition_variable dump_cv;
+  bool dump_stop = false;
+  std::thread dumper;
+  if (dump_sec > 0) {
+    dumper = std::thread([&] {
+      std::unique_lock<std::mutex> lock(dump_mu);
+      for (;;) {
+        if (dump_cv.wait_for(lock, std::chrono::seconds(dump_sec),
+                             [&] { return dump_stop; })) {
+          return;
+        }
+        std::printf("metrics %s\n", server.metrics_json().c_str());
+        std::fflush(stdout);
+      }
+    });
+  }
+
   tcp.run();  // returns on SIGINT or a kShutdown frame
   g_tcp_server = nullptr;
+  if (dumper.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(dump_mu);
+      dump_stop = true;
+    }
+    dump_cv.notify_all();
+    dumper.join();
+  }
   server.shutdown();
   std::printf("%s", server.counters().to_string().c_str());
+  std::printf("metrics %s\n", server.metrics_json().c_str());
   return 0;
 }
 
@@ -299,7 +339,7 @@ int main(int argc, char** argv) {
       "subnets", "budgets",        "out",             "epochs",
       "in",      "distill-epochs", "train-per-class", "seed",
       "deadline-ms", "port",       "workers",         "batch",
-      "confidence",  "mac-budget", "no-reuse"};
+      "confidence",  "mac-budget", "no-reuse",        "metrics-dump-sec"};
   CliArgs args(argc, argv, known);
   if (!args.ok()) {
     for (const auto& e : args.errors()) std::fprintf(stderr, "%s\n", e.c_str());
