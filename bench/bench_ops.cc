@@ -1,14 +1,32 @@
 // Micro-benchmarks (google-benchmark) for the numerical substrate: GEMM
 // kernels, im2col convolution, masked-forward overhead, and incremental
 // step cost. These quantify the design decisions in DESIGN.md §6.
+//
+// Before the google-benchmark suite runs, main() executes a GEMM shape
+// sweep over the paper's layer shapes comparing the blocked dispatch path
+// against the reference kernels: each shape line reports ns/op and GFLOP/s
+// for both paths, the blocked/ref speedup, and a bitwise=ok / MISMATCH
+// verdict (memcmp of the two outputs — CI greps for these). The sweep is
+// also written machine-readably to BENCH_gemm.json in the working
+// directory. STEPPING_BENCH_REPS overrides the per-shape rep count.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "baselines/any_width.h"
 #include "core/incremental.h"
 #include "core/macs.h"
 #include "models/models.h"
 #include "nn/conv2d.h"
+#include "tensor/gemm_kernel.h"
 #include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace stepping {
 namespace {
@@ -146,7 +164,127 @@ void BM_IncrementalStep(benchmark::State& state) {
 }
 BENCHMARK(BM_IncrementalStep)->Arg(1)->Arg(0);
 
+// ---------------------------------------------------------------------------
+// Blocked-vs-reference GEMM sweep (ISSUE 4 acceptance: >= 1.4x at 1 thread
+// on 128x400x1024, bitwise parity everywhere).
+// ---------------------------------------------------------------------------
+
+double median_seconds(int reps, const std::function<void()>& fn) {
+  std::vector<double> t(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    t[static_cast<std::size_t>(r)] =
+        std::chrono::duration<double>(t1 - t0).count();
+  }
+  std::sort(t.begin(), t.end());
+  return t[t.size() / 2];
+}
+
+struct SweepRow {
+  int m, k, n, threads;
+  double ref_ns, blocked_ns, speedup, blocked_gflops;
+  bool bitwise;
+};
+
+/// One shape at the current thread count: median-time ref and blocked gemm,
+/// memcmp outputs. Shapes come from the paper models' im2col lowerings
+/// (LeNet/VGG-ish layers; see ROADMAP).
+SweepRow sweep_shape(int m, int k, int n, int threads, int reps) {
+  Rng rng(42);
+  Tensor a({m, k}), b({k, n}), c_ref({m, n}), c_blk({m, n});
+  fill_normal(a, 0.0f, 1.0f, rng);
+  fill_normal(b, 0.0f, 1.0f, rng);
+  // ~20% exact zeros in A, like masked subnet weights (exercises the
+  // zero-skip on both paths identically).
+  float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); i += 5) pa[i] = 0.0f;
+
+  gemm_ref(a, b, c_ref);  // warm
+  gemm(a, b, c_blk);
+  const bool bitwise =
+      std::memcmp(c_ref.data(), c_blk.data(),
+                  sizeof(float) * static_cast<std::size_t>(c_ref.numel())) == 0;
+
+  const double ref_s = median_seconds(reps, [&] { gemm_ref(a, b, c_ref); });
+  const double blk_s = median_seconds(reps, [&] { gemm(a, b, c_blk); });
+  const double flop = 2.0 * m * k * n;
+  SweepRow row;
+  row.m = m;
+  row.k = k;
+  row.n = n;
+  row.threads = threads;
+  row.ref_ns = ref_s * 1e9;
+  row.blocked_ns = blk_s * 1e9;
+  row.speedup = ref_s / blk_s;
+  row.blocked_gflops = flop / blk_s * 1e-9;
+  row.bitwise = bitwise;
+  return row;
+}
+
+void run_gemm_sweep() {
+  const struct { int m, k, n; } shapes[] = {
+      {128, 400, 1024},  // lenet3c1l dense head, batch 128 (acceptance shape)
+      {64, 27, 1024},    // conv1 3x3x3 -> 64 units over 32x32 output
+      {128, 576, 256},   // mid conv, 64ch 3x3 patch
+      {256, 1152, 64},   // late conv, 128ch 3x3 patch, small spatial
+      {10, 512, 128},    // classifier tail
+      {65, 129, 33},     // odd non-multiple-of-tile shape
+  };
+  int reps = 7;
+  if (const char* e = std::getenv("STEPPING_BENCH_REPS")) {
+    reps = std::max(1, std::atoi(e));
+  }
+  std::vector<int> thread_counts = {1};
+  if (ThreadPool::default_threads() != 1) {
+    thread_counts.push_back(ThreadPool::default_threads());
+  }
+
+  std::vector<SweepRow> rows;
+  std::printf("GEMM sweep: blocked dispatch vs reference (reps=%d)\n", reps);
+  for (const int t : thread_counts) {
+    ThreadPool::set_global_threads(t);
+    for (const auto& s : shapes) {
+      const SweepRow row = sweep_shape(s.m, s.k, s.n, t, reps);
+      rows.push_back(row);
+      std::printf(
+          "gemm m=%d k=%d n=%d threads=%d ref=%.0fns blocked=%.0fns "
+          "speedup=%.2fx gflops=%.2f %s\n",
+          row.m, row.k, row.n, row.threads, row.ref_ns, row.blocked_ns,
+          row.speedup, row.blocked_gflops,
+          row.bitwise ? "bitwise=ok" : "bitwise=MISMATCH");
+    }
+  }
+  ThreadPool::set_global_threads(ThreadPool::default_threads());
+
+  if (std::FILE* f = std::fopen("BENCH_gemm.json", "w")) {
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const SweepRow& r = rows[i];
+      std::fprintf(f,
+                   "  {\"m\": %d, \"k\": %d, \"n\": %d, \"threads\": %d, "
+                   "\"ref_ns\": %.1f, \"blocked_ns\": %.1f, "
+                   "\"speedup\": %.3f, \"blocked_gflops\": %.3f, "
+                   "\"bitwise\": %s}%s\n",
+                   r.m, r.k, r.n, r.threads, r.ref_ns, r.blocked_ns, r.speedup,
+                   r.blocked_gflops, r.bitwise ? "true" : "false",
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_gemm.json (%zu rows)\n", rows.size());
+  }
+}
+
 }  // namespace
 }  // namespace stepping
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  stepping::run_gemm_sweep();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,11 @@
 #include "nn/conv2d.h"
 
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
+
+#include "tensor/gemm_kernel.h"
+#include "util/arena.h"
 
 namespace stepping {
 
@@ -47,19 +51,25 @@ Tensor Conv2d::forward(const Tensor& x, const SubnetContext& ctx) {
   const auto& active = active_flags(ctx.subnet_id);
 
   Tensor y({n, units_, oh, ow});  // zero-filled; inactive units stay zero
-  Tensor cols({geom_.patch(), spatial});
-  Tensor yi({units_, spatial});
+  // Workspaces come from the per-thread arena: reused across calls (zero
+  // heap allocations once warmed up — asserted by the conv arena test).
+  ArenaScope ws;
+  const std::int64_t patch = geom_.patch();
+  float* cols = ws.alloc_floats(static_cast<std::size_t>(patch) * spatial);
+  float* yi = ws.alloc_floats(static_cast<std::size_t>(units_) * spatial);
   const std::int64_t in_img = static_cast<std::int64_t>(geom_.in_c) * geom_.in_h *
                               geom_.in_w;
   const std::int64_t out_img = static_cast<std::int64_t>(units_) * spatial;
   for (int i = 0; i < n; ++i) {
-    im2col(x.data() + i * in_img, geom_, cols.data());
+    im2col(x.data() + i * in_img, geom_, cols);
     // y_i (U x S) = w (U x P) * cols (P x S), active rows only.
-    yi.zero();
-    gemm_rows(w, cols, yi, active.data());
+    std::memset(yi, 0,
+                sizeof(float) * static_cast<std::size_t>(units_) * spatial);
+    gemm_rows(w.data(), cols, yi, units_, static_cast<int>(patch), spatial,
+              active.data());
     float* dst = y.data() + i * out_img;
     const float* b = bias_.value.data();
-    const float* src = yi.data();
+    const float* src = yi;
     for (int u = 0; u < units_; ++u) {
       if (!active[static_cast<std::size_t>(u)]) continue;
       const float bu = b[u];
@@ -94,33 +104,36 @@ Tensor Conv2d::backward(const Tensor& grad_y_in, const SubnetContext& ctx) {
   const Tensor& w = effective_weights();
   const auto& active = active_flags(ctx.subnet_id);
   Tensor grad_x(x_cache_.shape());
-  Tensor cols({geom_.patch(), spatial});
-  Tensor dcols({geom_.patch(), spatial});
+  ArenaScope ws;
+  const std::int64_t patch = geom_.patch();
+  float* cols = ws.alloc_floats(static_cast<std::size_t>(patch) * spatial);
+  float* dcols = ws.alloc_floats(static_cast<std::size_t>(patch) * spatial);
   const std::int64_t in_img = static_cast<std::int64_t>(geom_.in_c) * geom_.in_h *
                               geom_.in_w;
   const std::int64_t out_img = static_cast<std::int64_t>(units_) * spatial;
 
   for (int i = 0; i < n; ++i) {
-    im2col(x_cache_.data() + i * in_img, geom_, cols.data());
-    Tensor gi({units_, spatial},
-              std::vector<float>(grad_y.data() + i * out_img,
-                                 grad_y.data() + (i + 1) * out_img));
+    im2col(x_cache_.data() + i * in_img, geom_, cols);
+    // gi (U x S) is image i's slice of grad_y, read in place (the former
+    // per-image Tensor copy is gone).
+    const float* gi = grad_y.data() + i * out_img;
     // dW (U x P) += gi (U x S) * cols^T (S x P), active units only (grads of
     // inactive units are identically zero).
-    gemm_nt_rows_acc(gi, cols, weight_.grad, active.data());
+    gemm_nt_rows_acc(gi, cols, weight_.grad.data(), units_, spatial,
+                     static_cast<int>(patch), active.data());
     // db += row sums of gi
     float* db = bias_.grad.data();
-    const float* g = gi.data();
     for (int u = 0; u < units_; ++u) {
       if (!active[static_cast<std::size_t>(u)]) continue;
       float acc = 0.0f;
       for (int s = 0; s < spatial; ++s)
-        acc += g[static_cast<std::int64_t>(u) * spatial + s];
+        acc += gi[static_cast<std::int64_t>(u) * spatial + s];
       db[u] += acc;
     }
     // dcols (P x S) = w^T (P x U) * gi (U x S), skipping inactive units.
-    gemm_tn_rows(w, gi, dcols, active.data());
-    col2im(dcols.data(), geom_, grad_x.data() + i * in_img);
+    gemm_tn_rows(w.data(), gi, dcols, static_cast<int>(patch), units_, spatial,
+                 active.data());
+    col2im(dcols, geom_, grad_x.data() + i * in_img);
   }
   return grad_x;
 }
@@ -134,13 +147,15 @@ Tensor Conv2d::forward_step(const Tensor& x, const Tensor& cached_y,
   const Tensor& w = effective_weights();
   Tensor y = cached_y;  // reuse results of units evaluated at from_subnet
 
-  Tensor cols({geom_.patch(), spatial});
+  ArenaScope ws;
+  float* cols =
+      ws.alloc_floats(static_cast<std::size_t>(geom_.patch()) * spatial);
   const std::int64_t in_img = static_cast<std::int64_t>(geom_.in_c) * geom_.in_h *
                               geom_.in_w;
   const std::int64_t out_img = static_cast<std::int64_t>(units_) * spatial;
   const float* b = bias_.value.data();
   for (int i = 0; i < n; ++i) {
-    im2col(x.data() + i * in_img, geom_, cols.data());
+    im2col(x.data() + i * in_img, geom_, cols);
     for (int u = 0; u < units_; ++u) {
       const int sv = is_head_ ? ctx.subnet_id  // head: always recompute
                               : (*out_assign_)[static_cast<std::size_t>(u)];
@@ -154,7 +169,7 @@ Tensor Conv2d::forward_step(const Tensor& x, const Tensor& cached_y,
       for (int p = 0; p < cols_; ++p) {
         const float wv = wrow[p];
         if (wv == 0.0f) continue;
-        const float* crow = cols.data() + static_cast<std::int64_t>(p) * spatial;
+        const float* crow = cols + static_cast<std::int64_t>(p) * spatial;
         for (int s = 0; s < spatial; ++s) dst[s] += wv * crow[s];
       }
       for (int s = 0; s < spatial; ++s) dst[s] += b[u];

@@ -1,0 +1,628 @@
+#include "tensor/gemm_kernel.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/arena.h"
+#include "util/env.h"
+#include "util/thread_pool.h"
+
+namespace stepping {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Configuration.
+// ---------------------------------------------------------------------------
+
+std::mutex& cfg_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+GemmBlocking& cfg_slot() {
+  static GemmBlocking cfg;
+  return cfg;
+}
+
+bool& cfg_initialized() {
+  static bool init = false;
+  return init;
+}
+
+obs::Counter& blocked_dispatches() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("stepping_gemm_blocked_total");
+  return c;
+}
+
+obs::Counter& ref_dispatches() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("stepping_gemm_ref_total");
+  return c;
+}
+
+obs::Counter& packs_performed() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("stepping_gemm_packs_total");
+  return c;
+}
+
+}  // namespace
+
+GemmBlocking env_gemm_blocking() {
+  GemmBlocking cfg;
+  std::string v = env_or("STEPPING_GEMM_BLOCK", "");
+  if (v.empty()) return cfg;
+  if (v == "ref" || v == "off" || v == "0") {
+    cfg.force_ref = true;
+    return cfg;
+  }
+  for (char& ch : v) {
+    if (ch == ',' || ch == 'X') ch = 'x';
+  }
+  int mc = 0, kc = 0, nc = 0;
+  if (std::sscanf(v.c_str(), "%dx%dx%d", &mc, &kc, &nc) == 3 && mc > 0 &&
+      kc > 0 && nc > 0) {
+    cfg.mc = mc;
+    cfg.kc = kc;
+    cfg.nc = nc;
+  }
+  return cfg;
+}
+
+GemmBlocking gemm_blocking() {
+  std::lock_guard<std::mutex> lock(cfg_mutex());
+  if (!cfg_initialized()) {
+    cfg_slot() = env_gemm_blocking();
+    cfg_initialized() = true;
+  }
+  return cfg_slot();
+}
+
+void set_gemm_blocking(const GemmBlocking& cfg) {
+  std::lock_guard<std::mutex> lock(cfg_mutex());
+  cfg_slot() = cfg;
+  cfg_initialized() = true;
+}
+
+bool gemm_uses_blocked(std::int64_t m, std::int64_t k, std::int64_t n,
+                       const GemmBlocking& cfg) {
+  if (cfg.force_ref) return false;
+  if (m <= 0 || k <= 0 || n <= 0) return false;
+  if (k < cfg.min_k) return false;
+  return m * k * n >= cfg.min_macs;
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernels — the PR-1 row-parallel loops on raw pointers. These
+// define the bitwise ground truth the blocked path must reproduce.
+// ---------------------------------------------------------------------------
+
+namespace gemmref {
+
+void gemm(const float* pa, const float* pb, float* pc, int m, int k, int n,
+          bool accumulate) {
+  if (!accumulate) std::fill(pc, pc + static_cast<std::size_t>(m) * n, 0.0f);
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + static_cast<std::size_t>(i) * k;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;  // masked weights are exactly zero
+        const float* brow = pb + static_cast<std::size_t>(p) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void gemm_tn(const float* pat, const float* pb, float* pc, int m, int k, int n,
+             bool accumulate) {
+  if (!accumulate) std::fill(pc, pc + static_cast<std::size_t>(m) * n, 0.0f);
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (int p = 0; p < k; ++p) {
+      const float* atrow = pat + static_cast<std::size_t>(p) * m;
+      const float* brow = pb + static_cast<std::size_t>(p) * n;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float av = atrow[i];
+        if (av == 0.0f) continue;
+        float* crow = pc + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void gemm_nt(const float* pa, const float* pbt, float* pc, int m, int k, int n,
+             bool accumulate) {
+  if (!accumulate) std::fill(pc, pc + static_cast<std::size_t>(m) * n, 0.0f);
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + static_cast<std::size_t>(i) * k;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float* btrow = pbt + static_cast<std::size_t>(j) * k;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
+        crow[j] += acc;
+      }
+    }
+  });
+}
+
+void gemm_rows(const float* pa, const float* pb, float* pc, int m, int k,
+               int n, const unsigned char* row_active) {
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      if (!row_active[i]) continue;
+      const float* arow = pa + static_cast<std::size_t>(i) * k;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = pb + static_cast<std::size_t>(p) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void gemm_nt_cols(const float* pa, const float* pbt, float* pc, int m, int k,
+                  int n, const unsigned char* col_active) {
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + static_cast<std::size_t>(i) * k;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        if (!col_active[j]) continue;
+        const float* btrow = pbt + static_cast<std::size_t>(j) * k;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
+        crow[j] += acc;
+      }
+    }
+  });
+}
+
+void gemm_nt_rows_acc(const float* pa, const float* pbt, float* pc, int m,
+                      int k, int n, const unsigned char* row_active) {
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      if (!row_active[i]) continue;
+      const float* arow = pa + static_cast<std::size_t>(i) * k;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float* btrow = pbt + static_cast<std::size_t>(j) * k;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
+        crow[j] += acc;
+      }
+    }
+  });
+}
+
+void gemm_tn_rows(const float* pat, const float* pb, float* pc, int m, int k,
+                  int n, const unsigned char* k_active) {
+  std::fill(pc, pc + static_cast<std::size_t>(m) * n, 0.0f);
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (int p = 0; p < k; ++p) {
+      if (!k_active[p]) continue;
+      const float* atrow = pat + static_cast<std::size_t>(p) * m;
+      const float* brow = pb + static_cast<std::size_t>(p) * n;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float av = atrow[i];
+        if (av == 0.0f) continue;
+        float* crow = pc + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+}  // namespace gemmref
+
+// ---------------------------------------------------------------------------
+// Blocked path.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class Fam { kAxpy, kDot };
+
+constexpr int kMR = kGemmMR;
+constexpr int kNR = kGemmNR;
+
+/// Pack the (pc..pc+bk) x (jc..jc+bn) block of B into NR-wide panels:
+/// out[q * bk * NR + p * NR + jr] holds B(pc+p, jc+q*NR+jr), zero-padded
+/// past the last column. BTrans reads the transposed operand Bt (n x k).
+/// Panel contents depend only on B, never on the partition, so parallel
+/// packing is deterministic.
+template <bool BTrans>
+void pack_b_block(const float* b, int k_dim, int n_dim, int pc, int jc, int bk,
+                  int bn, float* out) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "gemm.pack");
+  (void)k_dim;
+  (void)n_dim;
+  const int panels = (bn + kNR - 1) / kNR;
+  parallel_for_cost(0, panels, static_cast<std::int64_t>(bk) * kNR,
+                    [&](std::int64_t q0, std::int64_t q1) {
+    for (std::int64_t q = q0; q < q1; ++q) {
+      const int j0 = jc + static_cast<int>(q) * kNR;
+      const int w = std::min(kNR, jc + bn - j0);
+      float* dst = out + static_cast<std::size_t>(q) * bk * kNR;
+      if constexpr (!BTrans) {
+        for (int p = 0; p < bk; ++p) {
+          const float* src = b + static_cast<std::size_t>(pc + p) * n_dim + j0;
+          int jr = 0;
+          for (; jr < w; ++jr) dst[jr] = src[jr];
+          for (; jr < kNR; ++jr) dst[jr] = 0.0f;
+          dst += kNR;
+        }
+      } else {
+        // Bt is (n x k): read column j0+jr of B contiguously from Bt's row.
+        for (int jr = 0; jr < w; ++jr) {
+          const float* src = b + static_cast<std::size_t>(j0 + jr) * k_dim + pc;
+          for (int p = 0; p < bk; ++p) dst[p * kNR + jr] = src[p];
+        }
+        for (int jr = w; jr < kNR; ++jr) {
+          for (int p = 0; p < bk; ++p) dst[p * kNR + jr] = 0.0f;
+        }
+      }
+    }
+  });
+  packs_performed().inc();
+}
+
+// Explicit 4-lane vectors (GCC/Clang vector extension, SSE2 baseline).
+// Lane-wise += and * are the exact scalar operations on each element in the
+// same per-element order, so vectorizing this way cannot perturb bits. The
+// explicit form exists because GCC 12's auto-vectorizer turns the scalar
+// version of these loops into an interleaved gather across contraction
+// steps (~7x slower) while still being bit-exact.
+typedef float v4f __attribute__((vector_size(16)));
+
+inline v4f loadu4(const float* p) {
+  v4f v;
+  __builtin_memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// Axpy-family inner kernel: one C row against one (Pair=false) or two
+/// adjacent (Pair=true) packed B panels. The caller compacted the row's
+/// contraction terms — ascending p, the reference's av == 0.0f terms
+/// dropped — into (vals, idxs), so the hot loop is branchless: per element
+/// the reference's operation sequence is replayed exactly, compaction only
+/// removed the unpredictable per-term branch that would dominate a branchy
+/// micro-kernel. Lanes at j >= w accumulate against the panel's zero
+/// padding and are not stored back.
+template <bool Pair>
+inline void axpy_row_panels(const float* vals, const int* idxs, int nnz,
+                            const float* bp0, float* crow, int w, int bk) {
+  constexpr int kW = Pair ? 2 * kNR : kNR;
+  const float* bp1 = bp0 + static_cast<std::size_t>(bk) * kNR;  // next panel
+  float init[kW];
+  for (int j = 0; j < kW; ++j) init[j] = (j < w) ? crow[j] : 0.0f;
+  v4f acc[kW / 4];
+  for (int u = 0; u < kW / 4; ++u) acc[u] = loadu4(init + 4 * u);
+  // Unrolled by two contraction terms: same accumulator sequence (term t
+  // fully applied before term t+1), half the loop-control overhead.
+  int t = 0;
+  for (; t + 1 < nnz; t += 2) {
+    const float av0 = vals[t], av1 = vals[t + 1];
+    const v4f a0 = {av0, av0, av0, av0};
+    const v4f a1 = {av1, av1, av1, av1};
+    const std::size_t o0 = static_cast<std::size_t>(idxs[t]) * kNR;
+    const std::size_t o1 = static_cast<std::size_t>(idxs[t + 1]) * kNR;
+    acc[0] += a0 * loadu4(bp0 + o0);
+    acc[1] += a0 * loadu4(bp0 + o0 + 4);
+    if constexpr (Pair) {
+      acc[2] += a0 * loadu4(bp1 + o0);
+      acc[3] += a0 * loadu4(bp1 + o0 + 4);
+    }
+    acc[0] += a1 * loadu4(bp0 + o1);
+    acc[1] += a1 * loadu4(bp0 + o1 + 4);
+    if constexpr (Pair) {
+      acc[2] += a1 * loadu4(bp1 + o1);
+      acc[3] += a1 * loadu4(bp1 + o1 + 4);
+    }
+  }
+  for (; t < nnz; ++t) {
+    const float av = vals[t];
+    const v4f av4 = {av, av, av, av};
+    const std::size_t off = static_cast<std::size_t>(idxs[t]) * kNR;
+    acc[0] += av4 * loadu4(bp0 + off);
+    acc[1] += av4 * loadu4(bp0 + off + 4);
+    if constexpr (Pair) {
+      acc[2] += av4 * loadu4(bp1 + off);
+      acc[3] += av4 * loadu4(bp1 + off + 4);
+    }
+  }
+  float out[kW];
+  for (int u = 0; u < kW / 4; ++u) {
+    __builtin_memcpy(out + 4 * u, &acc[u], sizeof(v4f));
+  }
+  for (int j = 0; j < w; ++j) crow[j] = out[j];
+}
+
+/// Dot-family MR x NR register tile over the FULL contraction (this family
+/// never chunks k): accumulators start at zero, add every term in
+/// ascending-p order, and C is updated exactly once per element — the
+/// reference's single `crow[j] += acc` — so blocking matches bitwise. The
+/// dot family takes A untransposed and has no contraction mask (gemm_nt,
+/// gemm_nt_cols, gemm_nt_rows_acc), so `p` indexes A rows directly. Row
+/// activity is fixed across the p loop, so its branch predicts perfectly —
+/// unlike the axpy family's data-dependent zero skip, no compaction needed.
+template <bool RowMask, bool ColMask, bool Full>
+inline void dot_tile(const float* a, float* c, int k, int n, std::int64_t i0,
+                     int h, int j0, int w, int bk, const float* bp,
+                     const unsigned char* rmask, const unsigned char* cmask) {
+  const int hh = Full ? kMR : h;
+  bool act[kMR];
+  for (int r = 0; r < hh; ++r) act[r] = !RowMask || rmask[i0 + r] != 0;
+  v4f acc[kMR][2];
+  for (int r = 0; r < hh; ++r) acc[r][0] = acc[r][1] = v4f{};
+  for (int p = 0; p < bk; ++p) {
+    const float* brow = bp + static_cast<std::size_t>(p) * kNR;
+    const v4f b0 = loadu4(brow);
+    const v4f b1 = loadu4(brow + 4);
+    for (int r = 0; r < hh; ++r) {
+      if (RowMask && !act[r]) continue;
+      const float av = a[(static_cast<std::size_t>(i0) + r) * k + p];
+      const v4f av4 = {av, av, av, av};
+      acc[r][0] += av4 * b0;
+      acc[r][1] += av4 * b1;
+    }
+  }
+  for (int r = 0; r < hh; ++r) {
+    if (RowMask && !act[r]) continue;
+    float out[kNR];
+    __builtin_memcpy(out, &acc[r][0], sizeof(v4f));
+    __builtin_memcpy(out + 4, &acc[r][1], sizeof(v4f));
+    float* crow = c + (static_cast<std::size_t>(i0) + r) * n + j0;
+    const int ww = Full ? kNR : w;
+    for (int j = 0; j < ww; ++j) {
+      if (ColMask && cmask[j0 + j] == 0) continue;
+      crow[j] += out[j];
+    }
+  }
+}
+
+template <Fam F, bool ATrans, bool RowMask, bool ColMask, bool KMask>
+void blocked_run(const float* a, const float* b, float* c, int m, int k, int n,
+                 const unsigned char* rmask, const unsigned char* cmask,
+                 const unsigned char* kmask, const GemmBlocking& cfg) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "gemm.blocked");
+  const int nc = std::max(cfg.nc, kNR);
+  const int mc = std::max(cfg.mc, kMR);
+  // Dot-family contraction is never chunked: accumulators must span the
+  // full k so C sees exactly one update (determinism contract).
+  const int kc = (F == Fam::kDot) ? k : std::max(1, std::min(cfg.kc, k));
+
+  ArenaScope scope;
+  const int max_bn = std::min(nc, n);
+  const int max_panels = (max_bn + kNR - 1) / kNR;
+  float* pack = scope.alloc_floats(static_cast<std::size_t>(max_panels) * kNR *
+                                   static_cast<std::size_t>(kc));
+
+  for (int jc = 0; jc < n; jc += nc) {
+    const int bn = std::min(nc, n - jc);
+    const int panels = (bn + kNR - 1) / kNR;
+    for (int pc = 0; pc < k; pc += kc) {
+      const int bk = std::min(kc, k - pc);
+      pack_b_block<F == Fam::kDot>(b, k, n, pc, jc, bk, bn, pack);
+      // Rows are partitioned exactly like the reference kernels; every C
+      // row is owned by one chunk and element values are independent of
+      // the partition, so any thread count yields identical bits.
+      parallel_for_cost(0, m, static_cast<std::int64_t>(bk) * bn,
+                        [&](std::int64_t ch0, std::int64_t ch1) {
+        // Per-thread compact streams (axpy family): the gather touches A
+        // once per (row group, KC chunk) and is amortized over every panel
+        // of the NC block.
+        ArenaScope ws(Arena::this_thread());
+        float* vals = nullptr;
+        int* idxs = nullptr;
+        int* nnz = nullptr;
+        if constexpr (F == Fam::kAxpy) {
+          vals = ws.alloc_floats(static_cast<std::size_t>(mc) * bk);
+          idxs = static_cast<int*>(
+              ws.alloc(static_cast<std::size_t>(mc) * bk * sizeof(int)));
+          nnz = static_cast<int*>(
+              ws.alloc(static_cast<std::size_t>(mc) * sizeof(int)));
+        }
+        for (std::int64_t g0 = ch0; g0 < ch1; g0 += mc) {
+          const std::int64_t g1 = std::min<std::int64_t>(g0 + mc, ch1);
+          if constexpr (F == Fam::kAxpy) {
+            const int rows = static_cast<int>(g1 - g0);
+            for (int r = 0; r < rows; ++r) {
+              const std::int64_t i = g0 + r;
+              if (RowMask && rmask[i] == 0) {
+                nnz[r] = -1;  // row skipped entirely; C never touched
+                continue;
+              }
+              int t = 0;
+              float* vrow = vals + static_cast<std::size_t>(r) * bk;
+              int* irow = idxs + static_cast<std::size_t>(r) * bk;
+              for (int p = 0; p < bk; ++p) {
+                if constexpr (KMask) {
+                  if (kmask[pc + p] == 0) continue;
+                }
+                const float av =
+                    ATrans ? a[static_cast<std::size_t>(pc + p) * m + i]
+                           : a[static_cast<std::size_t>(i) * k + pc + p];
+                if (av == 0.0f) continue;  // the reference's masked skip
+                vrow[t] = av;
+                irow[t] = p;
+                ++t;
+              }
+              nnz[r] = t;
+            }
+            int q = 0;
+            for (; q + 1 < panels; q += 2) {
+              // Panel pairs: 16 columns per pass, 4 independent
+              // accumulator vectors — enough ILP to hide FP-add latency.
+              const float* bp = pack + static_cast<std::size_t>(q) * bk * kNR;
+              const int j0 = jc + q * kNR;
+              const int w = std::min(2 * kNR, jc + bn - j0);
+              for (int r = 0; r < rows; ++r) {
+                if (nnz[r] < 0) continue;
+                float* crow = c + (static_cast<std::size_t>(g0) + r) * n + j0;
+                axpy_row_panels<true>(vals + static_cast<std::size_t>(r) * bk,
+                                      idxs + static_cast<std::size_t>(r) * bk,
+                                      nnz[r], bp, crow, w, bk);
+              }
+            }
+            if (q < panels) {
+              const float* bp = pack + static_cast<std::size_t>(q) * bk * kNR;
+              const int j0 = jc + q * kNR;
+              const int w = std::min(kNR, jc + bn - j0);
+              for (int r = 0; r < rows; ++r) {
+                if (nnz[r] < 0) continue;
+                float* crow = c + (static_cast<std::size_t>(g0) + r) * n + j0;
+                axpy_row_panels<false>(vals + static_cast<std::size_t>(r) * bk,
+                                       idxs + static_cast<std::size_t>(r) * bk,
+                                       nnz[r], bp, crow, w, bk);
+              }
+            }
+            continue;
+          }
+          for (int q = 0; q < panels; ++q) {
+            // One B micro-panel stays L1-resident across the whole MC row
+            // group before moving to the next panel.
+            const float* bp = pack + static_cast<std::size_t>(q) * bk * kNR;
+            const int j0 = jc + q * kNR;
+            const int w = std::min(kNR, jc + bn - j0);
+            for (std::int64_t i0 = g0; i0 < g1; i0 += kMR) {
+              const int h = static_cast<int>(
+                  std::min<std::int64_t>(kMR, g1 - i0));
+              if (h == kMR && w == kNR) {
+                dot_tile<RowMask, ColMask, true>(a, c, k, n, i0, h, j0, w, bk,
+                                                 bp, rmask, cmask);
+              } else {
+                dot_tile<RowMask, ColMask, false>(a, c, k, n, i0, h, j0, w, bk,
+                                                  bp, rmask, cmask);
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dispatchers.
+// ---------------------------------------------------------------------------
+
+void gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          bool accumulate) {
+  const GemmBlocking cfg = gemm_blocking();
+  if (!gemm_uses_blocked(m, k, n, cfg)) {
+    ref_dispatches().inc();
+    gemmref::gemm(a, b, c, m, k, n, accumulate);
+    return;
+  }
+  blocked_dispatches().inc();
+  if (!accumulate) std::fill(c, c + static_cast<std::size_t>(m) * n, 0.0f);
+  blocked_run<Fam::kAxpy, false, false, false, false>(
+      a, b, c, m, k, n, nullptr, nullptr, nullptr, cfg);
+}
+
+void gemm_tn(const float* at, const float* b, float* c, int m, int k, int n,
+             bool accumulate) {
+  const GemmBlocking cfg = gemm_blocking();
+  if (!gemm_uses_blocked(m, k, n, cfg)) {
+    ref_dispatches().inc();
+    gemmref::gemm_tn(at, b, c, m, k, n, accumulate);
+    return;
+  }
+  blocked_dispatches().inc();
+  if (!accumulate) std::fill(c, c + static_cast<std::size_t>(m) * n, 0.0f);
+  blocked_run<Fam::kAxpy, true, false, false, false>(
+      at, b, c, m, k, n, nullptr, nullptr, nullptr, cfg);
+}
+
+void gemm_nt(const float* a, const float* bt, float* c, int m, int k, int n,
+             bool accumulate) {
+  const GemmBlocking cfg = gemm_blocking();
+  if (!gemm_uses_blocked(m, k, n, cfg)) {
+    ref_dispatches().inc();
+    gemmref::gemm_nt(a, bt, c, m, k, n, accumulate);
+    return;
+  }
+  blocked_dispatches().inc();
+  if (!accumulate) std::fill(c, c + static_cast<std::size_t>(m) * n, 0.0f);
+  blocked_run<Fam::kDot, false, false, false, false>(
+      a, bt, c, m, k, n, nullptr, nullptr, nullptr, cfg);
+}
+
+void gemm_rows(const float* a, const float* b, float* c, int m, int k, int n,
+               const unsigned char* row_active) {
+  const GemmBlocking cfg = gemm_blocking();
+  if (!gemm_uses_blocked(m, k, n, cfg)) {
+    ref_dispatches().inc();
+    gemmref::gemm_rows(a, b, c, m, k, n, row_active);
+    return;
+  }
+  blocked_dispatches().inc();
+  blocked_run<Fam::kAxpy, false, true, false, false>(
+      a, b, c, m, k, n, row_active, nullptr, nullptr, cfg);
+}
+
+void gemm_nt_cols(const float* a, const float* bt, float* c, int m, int k,
+                  int n, const unsigned char* col_active) {
+  const GemmBlocking cfg = gemm_blocking();
+  if (!gemm_uses_blocked(m, k, n, cfg)) {
+    ref_dispatches().inc();
+    gemmref::gemm_nt_cols(a, bt, c, m, k, n, col_active);
+    return;
+  }
+  blocked_dispatches().inc();
+  blocked_run<Fam::kDot, false, false, true, false>(
+      a, bt, c, m, k, n, nullptr, col_active, nullptr, cfg);
+}
+
+void gemm_nt_rows_acc(const float* a, const float* bt, float* c, int m, int k,
+                      int n, const unsigned char* row_active) {
+  const GemmBlocking cfg = gemm_blocking();
+  if (!gemm_uses_blocked(m, k, n, cfg)) {
+    ref_dispatches().inc();
+    gemmref::gemm_nt_rows_acc(a, bt, c, m, k, n, row_active);
+    return;
+  }
+  blocked_dispatches().inc();
+  blocked_run<Fam::kDot, false, true, false, false>(
+      a, bt, c, m, k, n, row_active, nullptr, nullptr, cfg);
+}
+
+void gemm_tn_rows(const float* at, const float* b, float* c, int m, int k,
+                  int n, const unsigned char* k_active) {
+  const GemmBlocking cfg = gemm_blocking();
+  if (!gemm_uses_blocked(m, k, n, cfg)) {
+    ref_dispatches().inc();
+    gemmref::gemm_tn_rows(at, b, c, m, k, n, k_active);
+    return;
+  }
+  blocked_dispatches().inc();
+  std::fill(c, c + static_cast<std::size_t>(m) * n, 0.0f);
+  blocked_run<Fam::kAxpy, true, false, false, true>(
+      at, b, c, m, k, n, nullptr, nullptr, k_active, cfg);
+}
+
+}  // namespace stepping

@@ -1,0 +1,137 @@
+// Cache-blocked, panel-packed GEMM micro-kernel layer (ISSUE 4).
+//
+// Raw-pointer kernels under the Tensor API in ops.h. Each public kernel
+// dispatches between
+//  * the blocked path: BLIS-style jc/pc/ic tiling — NC-wide column blocks
+//    of B packed into contiguous NR-wide panels (vectorization-friendly,
+//    one cache-line row per contraction step), KC-deep contraction chunks,
+//    MC-row groups that keep one B micro-panel L1-resident across
+//    consecutive MR x NR register tiles — and
+//  * the reference path (gemmref::*): the PR-1 row-parallel naive loops,
+//    used for shapes too small to amortize packing and kept as the bitwise
+//    ground truth for parity tests.
+//
+// Determinism contract (the repo-wide invariant from PR 1-3): for every
+// kernel, every block-size configuration and every STEPPING_THREADS value,
+// the blocked path produces output BITWISE IDENTICAL to the reference
+// kernels. This holds by construction, because per output element C(i,j)
+// both paths apply the exact same floating-point operations in the exact
+// same order:
+//  * axpy family (gemm, gemm_tn, gemm_rows, gemm_tn_rows): the reference
+//    accumulates terms a(i,p) * b(p,j) directly into C in ascending-p
+//    order, skipping terms whose A operand is exactly zero (masked
+//    weights). The blocked path loads the C tile into registers, adds the
+//    chunk's terms in the same ascending-p order with the same zero skip,
+//    and stores — a store/load round trip between KC chunks preserves bits,
+//    so chunked updates replay the reference sequence exactly.
+//  * dot family (gemm_nt, gemm_nt_cols, gemm_nt_rows_acc): the reference
+//    forms acc = 0, adds terms in ascending-p order (no zero skip), then
+//    applies ONE C(i,j) += acc. The blocked path therefore never splits the
+//    contraction: accumulators start at zero, run the full k in registers
+//    (KC applies to the axpy family only), and C is touched once.
+// Row/column/contraction masks short-circuit identically to the reference:
+// skipped rows and columns are never loaded or stored.
+//
+// Block sizes come from STEPPING_GEMM_BLOCK ("MCxKCxNC", e.g. "64x256x256";
+// "ref" forces the reference path) or set_gemm_blocking(); defaults target
+// a ~256 KiB L2 share. Dispatch, packing and arena usage are instrumented
+// with stepping_gemm_* counters and kernel.gemm.* trace spans.
+#pragma once
+
+#include <cstdint>
+
+namespace stepping {
+
+/// Tile configuration for the blocked path. All sizes are in elements and
+/// are clamped to sane minima at use; they affect speed only, never bits.
+struct GemmBlocking {
+  int mc = 64;   ///< rows per group sharing one L1-resident B micro-panel
+  int kc = 256;  ///< contraction chunk (axpy family; dot family runs full k)
+  int nc = 1024;  ///< columns packed per pass (bounds the packed-panel bytes;
+                  ///< wide so per-row term compaction is well amortized)
+  bool force_ref = false;     ///< route everything through gemmref::*
+  std::int64_t min_macs = 64 * 1024;  ///< below this m*k*n, use the reference
+                                      ///< path (packing would dominate)
+  int min_k = 32;  ///< below this contraction depth, use the reference path
+                   ///< (per-panel fixed costs outweigh the short dot chains)
+};
+
+/// Register tile of the micro-kernel (compile-time; here for tests/docs).
+inline constexpr int kGemmMR = 4;
+inline constexpr int kGemmNR = 8;
+
+/// Current configuration. First use parses STEPPING_GEMM_BLOCK.
+GemmBlocking gemm_blocking();
+
+/// Override the configuration (tests/benches). Not thread-safe against
+/// kernels in flight — call between phases, like set_global_threads.
+void set_gemm_blocking(const GemmBlocking& cfg);
+
+/// The STEPPING_GEMM_BLOCK-derived default (what gemm_blocking() returns
+/// until overridden).
+GemmBlocking env_gemm_blocking();
+
+/// True if (m, k, n) routes to the blocked path under cfg.
+bool gemm_uses_blocked(std::int64_t m, std::int64_t k, std::int64_t n,
+                       const GemmBlocking& cfg);
+
+// ---------------------------------------------------------------------------
+// Dispatching raw-pointer kernels. Same math and dimension conventions as
+// the Tensor wrappers in ops.h (row-major; m/k/n as documented there).
+// Callers owning arena or Tensor storage alike go through these.
+// ---------------------------------------------------------------------------
+
+/// C(m x n) = A(m x k) * B(k x n); zeroes C first unless `accumulate`.
+void gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          bool accumulate);
+
+/// C(m x n) = At^T * B with At (k x m), B (k x n).
+void gemm_tn(const float* at, const float* b, float* c, int m, int k, int n,
+             bool accumulate);
+
+/// C(m x n) = A(m x k) * Bt^T with Bt (n x k).
+void gemm_nt(const float* a, const float* bt, float* c, int m, int k, int n,
+             bool accumulate);
+
+/// gemm over rows with row_active[i] != 0 only; other C rows untouched
+/// (callers pass zeroed C).
+void gemm_rows(const float* a, const float* b, float* c, int m, int k, int n,
+               const unsigned char* row_active);
+
+/// gemm_nt over columns with col_active[j] != 0 only; others untouched.
+void gemm_nt_cols(const float* a, const float* bt, float* c, int m, int k,
+                  int n, const unsigned char* col_active);
+
+/// gemm_nt over rows with row_active[i] != 0, always accumulating into C.
+void gemm_nt_rows_acc(const float* a, const float* bt, float* c, int m, int k,
+                      int n, const unsigned char* row_active);
+
+/// gemm_tn skipping contraction rows p with k_active[p] == 0; zeroes C.
+void gemm_tn_rows(const float* at, const float* b, float* c, int m, int k,
+                  int n, const unsigned char* k_active);
+
+// ---------------------------------------------------------------------------
+// Reference kernels: the pre-blocking row-parallel loops, verbatim. The
+// parity grid (tests/gemm_kernel_test.cc) and the bench_ops sweep assert
+// the blocked path against these byte for byte.
+// ---------------------------------------------------------------------------
+namespace gemmref {
+
+void gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          bool accumulate);
+void gemm_tn(const float* at, const float* b, float* c, int m, int k, int n,
+             bool accumulate);
+void gemm_nt(const float* a, const float* bt, float* c, int m, int k, int n,
+             bool accumulate);
+void gemm_rows(const float* a, const float* b, float* c, int m, int k, int n,
+               const unsigned char* row_active);
+void gemm_nt_cols(const float* a, const float* bt, float* c, int m, int k,
+                  int n, const unsigned char* col_active);
+void gemm_nt_rows_acc(const float* a, const float* bt, float* c, int m, int k,
+                      int n, const unsigned char* row_active);
+void gemm_tn_rows(const float* at, const float* b, float* c, int m, int k,
+                  int n, const unsigned char* k_active);
+
+}  // namespace gemmref
+
+}  // namespace stepping

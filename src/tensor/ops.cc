@@ -7,19 +7,21 @@
 #include <limits>
 
 #include "obs/trace.h"
+#include "tensor/gemm_kernel.h"
 #include "util/thread_pool.h"
 
 namespace stepping {
 
 // ---------------------------------------------------------------------------
-// GEMM. A simple ikj-ordered kernel: streams B rows, accumulates into C rows,
-// vectorizes well under -O2 without external BLAS.
+// GEMM. The Tensor wrappers validate shapes and forward to the dispatch
+// layer in gemm_kernel.h, which routes between the cache-blocked
+// panel-packed path and the reference loops (kept below as *_ref).
 //
 // All kernels are partitioned over output rows of C: each row is owned by
-// exactly one parallel_for chunk and is computed in the same (p, j) order as
-// the serial loop, so results are bitwise identical for any thread count and
-// the subnet reuse invariants hold exactly. Small problems run serially
-// (parallel_for_cost's grain cut-off).
+// exactly one parallel_for chunk, and per output element the accumulation
+// runs in ascending contraction order in both paths, so results are bitwise
+// identical for any thread count AND any block size, and the subnet reuse
+// invariants hold exactly.
 // ---------------------------------------------------------------------------
 
 void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
@@ -27,50 +29,16 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
   assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
-  if (!accumulate) c.zero();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
-                    [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* arow = pa + static_cast<std::size_t>(i) * k;
-      float* crow = pc + static_cast<std::size_t>(i) * n;
-      for (int p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;  // masked weights are exactly zero
-        const float* brow = pb + static_cast<std::size_t>(p) * n;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  gemm(a.data(), b.data(), c.data(), m, k, n, accumulate);
 }
 
 void gemm_tn(const Tensor& at, const Tensor& b, Tensor& c, bool accumulate) {
-  // C(MxN) = At^T * B, At is (K x M), B is (K x N). The contraction stays
-  // outermost within each chunk (streams B once per chunk) while output
-  // rows are partitioned, so no two threads accumulate into the same row.
+  // C(MxN) = At^T * B, At is (K x M), B is (K x N).
   STEPPING_TRACE_SCOPE_CAT("kernel", "gemm_tn");
   assert(at.rank() == 2 && b.rank() == 2 && c.rank() == 2);
   const int k = at.dim(0), m = at.dim(1), n = b.dim(1);
   assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
-  if (!accumulate) c.zero();
-  const float* pat = at.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
-                    [&](std::int64_t i0, std::int64_t i1) {
-    for (int p = 0; p < k; ++p) {
-      const float* atrow = pat + static_cast<std::size_t>(p) * m;
-      const float* brow = pb + static_cast<std::size_t>(p) * n;
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const float av = atrow[i];
-        if (av == 0.0f) continue;
-        float* crow = pc + static_cast<std::size_t>(i) * n;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  gemm_tn(at.data(), b.data(), c.data(), m, k, n, accumulate);
 }
 
 void gemm_nt(const Tensor& a, const Tensor& bt, Tensor& c, bool accumulate) {
@@ -79,23 +47,7 @@ void gemm_nt(const Tensor& a, const Tensor& bt, Tensor& c, bool accumulate) {
   assert(a.rank() == 2 && bt.rank() == 2 && c.rank() == 2);
   const int m = a.dim(0), k = a.dim(1), n = bt.dim(0);
   assert(bt.dim(1) == k && c.dim(0) == m && c.dim(1) == n);
-  if (!accumulate) c.zero();
-  const float* pa = a.data();
-  const float* pbt = bt.data();
-  float* pc = c.data();
-  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
-                    [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* arow = pa + static_cast<std::size_t>(i) * k;
-      float* crow = pc + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        const float* btrow = pbt + static_cast<std::size_t>(j) * k;
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
-        crow[j] += acc;
-      }
-    }
-  });
+  gemm_nt(a.data(), bt.data(), c.data(), m, k, n, accumulate);
 }
 
 void gemm_rows(const Tensor& a, const Tensor& b, Tensor& c,
@@ -104,25 +56,7 @@ void gemm_rows(const Tensor& a, const Tensor& b, Tensor& c,
   assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // Chunking composes with the active-row mask: inactive rows are skipped
-  // inside whichever chunk owns them, and skipped rows stay untouched.
-  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
-                    [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      if (!row_active[i]) continue;
-      const float* arow = pa + static_cast<std::size_t>(i) * k;
-      float* crow = pc + static_cast<std::size_t>(i) * n;
-      for (int p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = pb + static_cast<std::size_t>(p) * n;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  gemm_rows(a.data(), b.data(), c.data(), m, k, n, row_active);
 }
 
 void gemm_nt_cols(const Tensor& a, const Tensor& bt, Tensor& c,
@@ -131,23 +65,7 @@ void gemm_nt_cols(const Tensor& a, const Tensor& bt, Tensor& c,
   assert(a.rank() == 2 && bt.rank() == 2 && c.rank() == 2);
   const int m = a.dim(0), k = a.dim(1), n = bt.dim(0);
   assert(bt.dim(1) == k && c.dim(0) == m && c.dim(1) == n);
-  const float* pa = a.data();
-  const float* pbt = bt.data();
-  float* pc = c.data();
-  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
-                    [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* arow = pa + static_cast<std::size_t>(i) * k;
-      float* crow = pc + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        if (!col_active[j]) continue;
-        const float* btrow = pbt + static_cast<std::size_t>(j) * k;
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
-        crow[j] += acc;
-      }
-    }
-  });
+  gemm_nt_cols(a.data(), bt.data(), c.data(), m, k, n, col_active);
 }
 
 void gemm_nt_rows_acc(const Tensor& a, const Tensor& bt, Tensor& c,
@@ -156,23 +74,7 @@ void gemm_nt_rows_acc(const Tensor& a, const Tensor& bt, Tensor& c,
   assert(a.rank() == 2 && bt.rank() == 2 && c.rank() == 2);
   const int m = a.dim(0), k = a.dim(1), n = bt.dim(0);
   assert(bt.dim(1) == k && c.dim(0) == m && c.dim(1) == n);
-  const float* pa = a.data();
-  const float* pbt = bt.data();
-  float* pc = c.data();
-  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
-                    [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      if (!row_active[i]) continue;
-      const float* arow = pa + static_cast<std::size_t>(i) * k;
-      float* crow = pc + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        const float* btrow = pbt + static_cast<std::size_t>(j) * k;
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
-        crow[j] += acc;
-      }
-    }
-  });
+  gemm_nt_rows_acc(a.data(), bt.data(), c.data(), m, k, n, row_active);
 }
 
 void gemm_tn_rows(const Tensor& at, const Tensor& b, Tensor& c,
@@ -181,24 +83,60 @@ void gemm_tn_rows(const Tensor& at, const Tensor& b, Tensor& c,
   assert(at.rank() == 2 && b.rank() == 2 && c.rank() == 2);
   const int k = at.dim(0), m = at.dim(1), n = b.dim(1);
   assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
-  c.zero();
-  const float* pat = at.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
-                    [&](std::int64_t i0, std::int64_t i1) {
-    for (int p = 0; p < k; ++p) {
-      if (!k_active[p]) continue;
-      const float* atrow = pat + static_cast<std::size_t>(p) * m;
-      const float* brow = pb + static_cast<std::size_t>(p) * n;
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const float av = atrow[i];
-        if (av == 0.0f) continue;
-        float* crow = pc + static_cast<std::size_t>(i) * n;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  gemm_tn_rows(at.data(), b.data(), c.data(), m, k, n, k_active);
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernels (Tensor wrappers over gemmref::*), for parity tests
+// and before/after benchmarking. Never dispatch to the blocked path.
+// ---------------------------------------------------------------------------
+
+void gemm_ref(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  gemmref::gemm(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1),
+                accumulate);
+}
+
+void gemm_tn_ref(const Tensor& at, const Tensor& b, Tensor& c,
+                 bool accumulate) {
+  assert(at.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  gemmref::gemm_tn(at.data(), b.data(), c.data(), at.dim(1), at.dim(0),
+                   b.dim(1), accumulate);
+}
+
+void gemm_nt_ref(const Tensor& a, const Tensor& bt, Tensor& c,
+                 bool accumulate) {
+  assert(a.rank() == 2 && bt.rank() == 2 && c.rank() == 2);
+  gemmref::gemm_nt(a.data(), bt.data(), c.data(), a.dim(0), a.dim(1),
+                   bt.dim(0), accumulate);
+}
+
+void gemm_rows_ref(const Tensor& a, const Tensor& b, Tensor& c,
+                   const unsigned char* row_active) {
+  assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  gemmref::gemm_rows(a.data(), b.data(), c.data(), a.dim(0), a.dim(1),
+                     b.dim(1), row_active);
+}
+
+void gemm_nt_cols_ref(const Tensor& a, const Tensor& bt, Tensor& c,
+                      const unsigned char* col_active) {
+  assert(a.rank() == 2 && bt.rank() == 2 && c.rank() == 2);
+  gemmref::gemm_nt_cols(a.data(), bt.data(), c.data(), a.dim(0), a.dim(1),
+                        bt.dim(0), col_active);
+}
+
+void gemm_nt_rows_acc_ref(const Tensor& a, const Tensor& bt, Tensor& c,
+                          const unsigned char* row_active) {
+  assert(a.rank() == 2 && bt.rank() == 2 && c.rank() == 2);
+  gemmref::gemm_nt_rows_acc(a.data(), bt.data(), c.data(), a.dim(0), a.dim(1),
+                            bt.dim(0), row_active);
+}
+
+void gemm_tn_rows_ref(const Tensor& at, const Tensor& b, Tensor& c,
+                      const unsigned char* k_active) {
+  assert(at.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  gemmref::gemm_tn_rows(at.data(), b.data(), c.data(), at.dim(1), at.dim(0),
+                        b.dim(1), k_active);
 }
 
 // ---------------------------------------------------------------------------
@@ -282,10 +220,15 @@ void col2im(const float* cols, const Conv2dGeometry& g, float* x) {
 }
 
 // ---------------------------------------------------------------------------
-// Pooling
+// Pooling. The plane loops are partitioned over (image, channel) planes:
+// every output plane (and, for the backward scatter, every input plane —
+// argmax indices never cross planes) is owned by exactly one thread, and
+// within a plane the serial order is kept, so results are bitwise identical
+// to serial for any thread count.
 // ---------------------------------------------------------------------------
 
 void maxpool_forward(const Tensor& x, int k, Tensor& y, std::vector<int>& argmax) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "maxpool");
   assert(x.rank() == 4);
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int oh = h / k, ow = w / k;
@@ -294,11 +237,14 @@ void maxpool_forward(const Tensor& x, int k, Tensor& y, std::vector<int>& argmax
   argmax.assign(static_cast<std::size_t>(y.numel()), 0);
   const float* px = x.data();
   float* py = y.data();
-  std::int64_t oi = 0;
-  for (int in = 0; in < n; ++in) {
-    for (int ic = 0; ic < c; ++ic) {
-      const float* plane =
-          px + (static_cast<std::size_t>(in) * c + ic) * h * w;
+  int* pam = argmax.data();
+  const int ospatial = oh * ow;
+  parallel_for_cost(0, static_cast<std::int64_t>(n) * c,
+                    static_cast<std::int64_t>(ospatial) * k * k,
+                    [&](std::int64_t pl0, std::int64_t pl1) {
+    for (std::int64_t pl = pl0; pl < pl1; ++pl) {
+      const float* plane = px + static_cast<std::size_t>(pl) * h * w;
+      std::int64_t oi = pl * ospatial;
       for (int yy = 0; yy < oh; ++yy) {
         for (int xx = 0; xx < ow; ++xx) {
           float best = -std::numeric_limits<float>::infinity();
@@ -314,56 +260,70 @@ void maxpool_forward(const Tensor& x, int k, Tensor& y, std::vector<int>& argmax
             }
           }
           py[oi] = best;
-          argmax[static_cast<std::size_t>(oi)] =
-              static_cast<int>((static_cast<std::size_t>(in) * c + ic) * h * w) +
-              best_idx;
+          pam[oi] = static_cast<int>(static_cast<std::size_t>(pl) * h * w) +
+                    best_idx;
           ++oi;
         }
       }
     }
-  }
+  });
 }
 
 void maxpool_backward(const Tensor& grad_y, const std::vector<int>& argmax,
                       Tensor& grad_x) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "maxpool_backward");
   grad_x.zero();
   float* gx = grad_x.data();
   const float* gy = grad_y.data();
-  for (std::int64_t i = 0; i < grad_y.numel(); ++i) {
-    gx[argmax[static_cast<std::size_t>(i)]] += gy[i];
-  }
+  const int* pam = argmax.data();
+  // Pool windows are disjoint (stride == k), so no two outputs share an
+  // argmax target; any partition of the output range scatters to disjoint
+  // grad_x cells. Partitioning at plane granularity additionally keeps each
+  // thread's writes within its own input planes (cache friendliness); the
+  // plane size divides grad_y.numel() exactly.
+  const int ospatial = grad_y.dim(2) * grad_y.dim(3);
+  parallel_for_cost(0, static_cast<std::int64_t>(grad_y.dim(0)) * grad_y.dim(1),
+                    ospatial, [&](std::int64_t pl0, std::int64_t pl1) {
+    for (std::int64_t i = pl0 * ospatial; i < pl1 * ospatial; ++i) {
+      gx[pam[static_cast<std::size_t>(i)]] += gy[i];
+    }
+  });
 }
 
 void global_avgpool_forward(const Tensor& x, Tensor& y) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "global_avgpool");
   assert(x.rank() == 4);
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   y = Tensor({n, c});
   const float inv = 1.0f / static_cast<float>(h * w);
   const float* px = x.data();
   float* py = y.data();
-  for (int in = 0; in < n; ++in) {
-    for (int ic = 0; ic < c; ++ic) {
-      const float* plane = px + (static_cast<std::size_t>(in) * c + ic) * h * w;
+  parallel_for_cost(0, static_cast<std::int64_t>(n) * c, h * w,
+                    [&](std::int64_t pl0, std::int64_t pl1) {
+    for (std::int64_t pl = pl0; pl < pl1; ++pl) {
+      const float* plane = px + static_cast<std::size_t>(pl) * h * w;
       float s = 0.0f;
       for (int i = 0; i < h * w; ++i) s += plane[i];
-      py[static_cast<std::size_t>(in) * c + ic] = s * inv;
+      py[pl] = s * inv;
     }
-  }
+  });
 }
 
 void global_avgpool_backward(const Tensor& grad_y, int h, int w, Tensor& grad_x) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "global_avgpool_backward");
   assert(grad_y.rank() == 2 && grad_x.rank() == 4);
   const int n = grad_y.dim(0), c = grad_y.dim(1);
   const float inv = 1.0f / static_cast<float>(h * w);
   const float* gy = grad_y.data();
   float* gx = grad_x.data();
-  for (int in = 0; in < n; ++in) {
-    for (int ic = 0; ic < c; ++ic) {
-      const float g = gy[static_cast<std::size_t>(in) * c + ic] * inv;
-      float* plane = gx + (static_cast<std::size_t>(in) * c + ic) * h * w;
+  parallel_for_cost(0, static_cast<std::int64_t>(n) * c, h * w,
+                    [&](std::int64_t pl0, std::int64_t pl1) {
+    for (std::int64_t pl = pl0; pl < pl1; ++pl) {
+      const float g = gy[pl] * inv;
+      float* plane = gx + static_cast<std::size_t>(pl) * h * w;
       for (int i = 0; i < h * w; ++i) plane[i] = g;
     }
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -431,12 +391,17 @@ void add_inplace(Tensor& y, const Tensor& x) {
   assert(y.shape() == x.shape());
   float* py = y.data();
   const float* px = x.data();
-  for (std::int64_t i = 0; i < y.numel(); ++i) py[i] += px[i];
+  // Index-owned partition: each element touched by exactly one thread.
+  parallel_for_cost(0, y.numel(), 1, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) py[i] += px[i];
+  });
 }
 
 void scale_inplace(Tensor& y, float s) {
   float* py = y.data();
-  for (std::int64_t i = 0; i < y.numel(); ++i) py[i] *= s;
+  parallel_for_cost(0, y.numel(), 1, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) py[i] *= s;
+  });
 }
 
 // ---------------------------------------------------------------------------

@@ -56,6 +56,29 @@ void gemm_tn_rows(const Tensor& at, const Tensor& b, Tensor& c,
                   const unsigned char* k_active);
 
 // ---------------------------------------------------------------------------
+// Reference GEMM kernels. Same contracts as the kernels above but always
+// running the pre-blocking row-parallel loops (gemmref::* in gemm_kernel.h),
+// regardless of STEPPING_GEMM_BLOCK. The blocked dispatch path is asserted
+// bitwise identical to these by tests/gemm_kernel_test.cc and the bench_ops
+// sweep; they also provide the "before" side of before/after benchmarks.
+// ---------------------------------------------------------------------------
+
+void gemm_ref(const Tensor& a, const Tensor& b, Tensor& c,
+              bool accumulate = false);
+void gemm_tn_ref(const Tensor& at, const Tensor& b, Tensor& c,
+                 bool accumulate = false);
+void gemm_nt_ref(const Tensor& a, const Tensor& bt, Tensor& c,
+                 bool accumulate = false);
+void gemm_rows_ref(const Tensor& a, const Tensor& b, Tensor& c,
+                   const unsigned char* row_active);
+void gemm_nt_cols_ref(const Tensor& a, const Tensor& bt, Tensor& c,
+                      const unsigned char* col_active);
+void gemm_nt_rows_acc_ref(const Tensor& a, const Tensor& bt, Tensor& c,
+                          const unsigned char* row_active);
+void gemm_tn_rows_ref(const Tensor& at, const Tensor& b, Tensor& c,
+                      const unsigned char* k_active);
+
+// ---------------------------------------------------------------------------
 // Convolution lowering.
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,98 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/metrics.h"
+
+namespace stepping {
+
+namespace {
+
+/// First block is big enough for typical conv workspaces so most threads
+/// allocate exactly once.
+constexpr std::size_t kMinBlockBytes = 256 * 1024;
+
+std::size_t align_up(std::size_t n) {
+  return (n + Arena::kAlign - 1) & ~(Arena::kAlign - 1);
+}
+
+}  // namespace
+
+Arena::~Arena() {
+  for (Block& b : blocks_) delete[] b.raw;
+}
+
+Arena& Arena::this_thread() {
+  thread_local Arena arena;
+  return arena;
+}
+
+void Arena::push_block(std::size_t min_size) {
+  // Geometric growth over the current capacity bounds the number of blocks
+  // (and thus heap allocations) to O(log total) before consolidation.
+  const std::size_t size = std::max({align_up(min_size), capacity_, kMinBlockBytes});
+  Block b;
+  b.raw = new char[size + kAlign];
+  b.base = b.raw + (kAlign - reinterpret_cast<std::uintptr_t>(b.raw) % kAlign) % kAlign;
+  b.size = size;
+  b.used = 0;
+  blocks_.push_back(b);
+  capacity_ += size;
+  ++grow_count_;
+  static obs::Counter& grows =
+      obs::Registry::global().counter("stepping_arena_grows_total");
+  static obs::Gauge& bytes =
+      obs::Registry::global().gauge("stepping_arena_bytes");
+  grows.inc();
+  bytes.max_of(static_cast<std::int64_t>(capacity_));
+}
+
+void* Arena::alloc(std::size_t bytes) {
+  assert(depth_ > 0 && "Arena::alloc outside any ArenaScope");
+  const std::size_t need = align_up(std::max<std::size_t>(bytes, 1));
+  if (blocks_.empty() || blocks_.back().used + need > blocks_.back().size) {
+    push_block(need);
+  }
+  Block& b = blocks_.back();
+  void* p = b.base + b.used;
+  b.used += need;
+  live_ += need;
+  high_water_ = std::max(high_water_, live_);
+  return p;
+}
+
+void Arena::consolidate() {
+  assert(depth_ == 0);
+  if (blocks_.size() <= 1) return;
+  for (Block& b : blocks_) delete[] b.raw;
+  blocks_.clear();
+  capacity_ = 0;
+  push_block(high_water_);
+}
+
+ArenaScope::ArenaScope(Arena& arena)
+    : arena_(arena),
+      saved_block_(arena.blocks_.size()),
+      saved_used_(arena.blocks_.empty() ? 0 : arena.blocks_.back().used),
+      saved_live_(arena.live_) {
+  ++arena_.depth_;
+}
+
+ArenaScope::~ArenaScope() {
+  // Rewind: reset the bump offset of every block chained inside this scope
+  // (memory is retained — consolidation at depth 0 merges it, never a
+  // per-scope free) and restore the offset of the block that was on top
+  // when the scope opened.
+  assert(arena_.depth_ > 0);
+  for (std::size_t bi = saved_block_; bi < arena_.blocks_.size(); ++bi) {
+    arena_.blocks_[bi].used = 0;
+  }
+  if (saved_block_ > 0) {
+    arena_.blocks_[saved_block_ - 1].used = saved_used_;
+  }
+  arena_.live_ = saved_live_;
+  if (--arena_.depth_ == 0) arena_.consolidate();
+}
+
+}  // namespace stepping

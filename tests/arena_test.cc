@@ -1,0 +1,154 @@
+// Per-thread scratch arena tests (ISSUE 4): scoped reuse, nested LIFO
+// rewind, high-water consolidation, per-thread isolation, and the
+// zero-allocations-per-call guarantee for conv workspaces.
+#include "util/arena.h"
+
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace stepping {
+namespace {
+
+TEST(Arena, ScopeAllocationsAreAlignedAndWritable) {
+  Arena arena;
+  ArenaScope scope(arena);
+  for (const std::size_t bytes : {1u, 7u, 64u, 1000u, 4096u}) {
+    void* p = scope.alloc(bytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % Arena::kAlign, 0u);
+    std::memset(p, 0xAB, bytes);  // must be writable end to end
+  }
+  float* f = scope.alloc_floats(33);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(f) % Arena::kAlign, 0u);
+  f[32] = 1.0f;
+}
+
+TEST(Arena, ReusesMemoryAcrossScopesWithoutRegrowing) {
+  Arena arena;
+  {
+    ArenaScope warm(arena);
+    warm.alloc(100 * 1024);
+  }
+  const std::uint64_t grows_after_warmup = arena.grow_count();
+  const std::size_t cap = arena.capacity();
+  for (int i = 0; i < 100; ++i) {
+    ArenaScope scope(arena);
+    void* p = scope.alloc(100 * 1024);
+    ASSERT_NE(p, nullptr);
+  }
+  EXPECT_EQ(arena.grow_count(), grows_after_warmup);
+  EXPECT_EQ(arena.capacity(), cap);
+}
+
+TEST(Arena, NestedScopesRewindInLifoOrder) {
+  Arena arena;
+  ArenaScope outer(arena);
+  float* a = outer.alloc_floats(16);
+  a[0] = 1.0f;
+  {
+    ArenaScope inner(arena);
+    float* b = inner.alloc_floats(16);
+    b[0] = 2.0f;
+    EXPECT_EQ(arena.depth(), 2);
+  }
+  // Inner memory is rewound; a new inner-scope allocation lands on the same
+  // offset, and outer allocations survive untouched.
+  {
+    ArenaScope inner(arena);
+    float* b2 = inner.alloc_floats(16);
+    EXPECT_NE(b2, nullptr);
+  }
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(arena.depth(), 1);
+}
+
+TEST(Arena, ConsolidatesOverflowChainToHighWaterBlock) {
+  Arena arena;
+  {
+    ArenaScope scope(arena);
+    // Force overflow past the initial block: many live allocations.
+    for (int i = 0; i < 8; ++i) scope.alloc(256 * 1024);
+  }
+  // After the outermost scope closes the chain is merged: a follow-up scope
+  // of the same footprint must not allocate.
+  const std::uint64_t grows = arena.grow_count();
+  EXPECT_GE(arena.high_water(), 8u * 256 * 1024);
+  EXPECT_GE(arena.capacity(), arena.high_water());
+  {
+    ArenaScope scope(arena);
+    for (int i = 0; i < 8; ++i) scope.alloc(256 * 1024);
+  }
+  EXPECT_EQ(arena.grow_count(), grows);
+}
+
+TEST(Arena, HighWaterTracksPeakLiveBytes) {
+  Arena arena;
+  {
+    ArenaScope scope(arena);
+    scope.alloc(1000);
+  }
+  const std::size_t after_small = arena.high_water();
+  EXPECT_GE(after_small, 1000u);
+  {
+    ArenaScope scope(arena);
+    scope.alloc(5000);
+    scope.alloc(3000);
+  }
+  EXPECT_GE(arena.high_water(), 8000u);
+  EXPECT_GE(arena.high_water(), after_small);
+}
+
+TEST(Arena, ThisThreadIsPerThread) {
+  Arena* main_arena = &Arena::this_thread();
+  Arena* worker_arena = nullptr;
+  std::thread t([&] {
+    worker_arena = &Arena::this_thread();
+    ArenaScope scope;  // defaults to the worker's own arena
+    scope.alloc(64);
+  });
+  t.join();
+  EXPECT_NE(worker_arena, nullptr);
+  EXPECT_NE(worker_arena, main_arena);
+}
+
+/// The conv workspace guarantee: after a warm-up call, repeated forward and
+/// backward passes perform ZERO heap allocations for im2col/col2im/GEMM
+/// workspaces — the arena's grow count stays flat.
+TEST(Arena, ConvForwardBackwardReusesWorkspaceAfterWarmup) {
+  Rng rng(7);
+  Conv2d conv("c", 8, 3);
+  IOSpec spec;
+  spec.units = 4;
+  spec.h = 12;
+  spec.w = 12;
+  spec.assignment = std::make_shared<Assignment>(4u, 1);
+  conv.wire(spec, rng);
+  Tensor x({2, 4, 12, 12});
+  fill_normal(x, 0.0f, 1.0f, rng);
+  SubnetContext ctx;
+  ctx.training = true;
+
+  // Warm up: first call may grow the calling thread's arena.
+  Tensor y = conv.forward(x, ctx);
+  Tensor gy(y.shape());
+  fill_normal(gy, 0.0f, 1.0f, rng);
+  conv.backward(gy, ctx);
+
+  Arena& arena = Arena::this_thread();
+  const std::uint64_t grows = arena.grow_count();
+  for (int i = 0; i < 10; ++i) {
+    Tensor yy = conv.forward(x, ctx);
+    conv.backward(gy, ctx);
+  }
+  EXPECT_EQ(arena.grow_count(), grows)
+      << "conv workspaces must reuse arena memory, not allocate per call";
+}
+
+}  // namespace
+}  // namespace stepping
