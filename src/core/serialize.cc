@@ -123,8 +123,12 @@ bool load_network(Network& net, std::istream& in) {
       if (tag != Tag::kMasked) throw std::runtime_error("load_network: expected masked layer");
       const bool head = read_u32(in) != 0;
       m->set_head(head);
+      // read_tensor_into writes the raw bytes, bypassing the layer's dirty
+      // tracking — bump the param versions so packed-weight caches notice.
       read_tensor_into(in, m->weight().value);
+      ++m->weight().version;
       read_tensor_into(in, m->bias().value);
+      ++m->bias().version;
       const std::vector<int> assign = read_ints(in);
       if (static_cast<int>(assign.size()) != m->num_units()) {
         throw std::runtime_error("load_network: assignment size mismatch");

@@ -43,6 +43,16 @@ IOSpec Conv2d::wire(const IOSpec& in, Rng& rng) {
 }
 
 Tensor Conv2d::forward(const Tensor& x, const SubnetContext& ctx) {
+  return forward_impl(x, ctx, /*relu=*/false);
+}
+
+Tensor Conv2d::forward_relu(const Tensor& x, const SubnetContext& ctx) {
+  assert(!ctx.training);  // fusion is inference-only (backward needs preact)
+  return forward_impl(x, ctx, /*relu=*/true);
+}
+
+Tensor Conv2d::forward_impl(const Tensor& x, const SubnetContext& ctx,
+                            bool relu) {
   assert(x.rank() == 4 && x.dim(1) == geom_.in_c);
   const int n = x.dim(0);
   const int oh = geom_.out_h(), ow = geom_.out_w();
@@ -56,28 +66,18 @@ Tensor Conv2d::forward(const Tensor& x, const SubnetContext& ctx) {
   ArenaScope ws;
   const std::int64_t patch = geom_.patch();
   float* cols = ws.alloc_floats(static_cast<std::size_t>(patch) * spatial);
-  float* yi = ws.alloc_floats(static_cast<std::size_t>(units_) * spatial);
   const std::int64_t in_img = static_cast<std::int64_t>(geom_.in_c) * geom_.in_h *
                               geom_.in_w;
   const std::int64_t out_img = static_cast<std::int64_t>(units_) * spatial;
   for (int i = 0; i < n; ++i) {
     im2col(x.data() + i * in_img, geom_, cols);
-    // y_i (U x S) = w (U x P) * cols (P x S), active rows only.
-    std::memset(yi, 0,
-                sizeof(float) * static_cast<std::size_t>(units_) * spatial);
-    gemm_rows(w.data(), cols, yi, units_, static_cast<int>(patch), spatial,
-              active.data());
-    float* dst = y.data() + i * out_img;
-    const float* b = bias_.value.data();
-    const float* src = yi;
-    for (int u = 0; u < units_; ++u) {
-      if (!active[static_cast<std::size_t>(u)]) continue;
-      const float bu = b[u];
-      for (int s = 0; s < spatial; ++s) {
-        dst[static_cast<std::int64_t>(u) * spatial + s] =
-            src[static_cast<std::int64_t>(u) * spatial + s] + bu;
-      }
-    }
+    // y_i (U x S) = w (U x P) * cols (P x S) + bias, active rows only, with
+    // the bias add (and optional ReLU) fused into the micro-kernel store —
+    // results land straight in y, skipping the former yi staging buffer and
+    // its copy-out pass.
+    gemm_rows_bias(w.data(), cols, y.data() + i * out_img, units_,
+                   static_cast<int>(patch), spatial, active.data(),
+                   bias_.value.data(), relu);
   }
 
   if (ctx.training) {

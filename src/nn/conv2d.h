@@ -20,6 +20,8 @@ class Conv2d final : public MaskedLayer {
   std::string name() const override { return name_; }
   IOSpec wire(const IOSpec& in, Rng& rng) override;
   Tensor forward(const Tensor& x, const SubnetContext& ctx) override;
+  bool can_fuse_relu() const override { return true; }
+  Tensor forward_relu(const Tensor& x, const SubnetContext& ctx) override;
   Tensor backward(const Tensor& grad_y, const SubnetContext& ctx) override;
   Tensor forward_step(const Tensor& x, const Tensor& cached_y, int from_subnet,
                       const SubnetContext& ctx) override;
@@ -30,6 +32,8 @@ class Conv2d final : public MaskedLayer {
   const Conv2dGeometry& geometry() const { return geom_; }
 
  private:
+  Tensor forward_impl(const Tensor& x, const SubnetContext& ctx, bool relu);
+
   std::string name_;
   int out_channels_;
   int kernel_;

@@ -28,22 +28,27 @@ IOSpec Dense::wire(const IOSpec& in, Rng& rng) {
 }
 
 Tensor Dense::forward(const Tensor& x, const SubnetContext& ctx) {
+  return forward_impl(x, ctx, /*relu=*/false);
+}
+
+Tensor Dense::forward_relu(const Tensor& x, const SubnetContext& ctx) {
+  assert(!ctx.training);  // fusion is inference-only (backward needs preact)
+  return forward_impl(x, ctx, /*relu=*/true);
+}
+
+Tensor Dense::forward_impl(const Tensor& x, const SubnetContext& ctx,
+                           bool relu) {
   assert(x.rank() == 2 && x.dim(1) == cols_);
   const int n = x.dim(0);
   const Tensor& w = effective_weights();
   const auto& active = active_flags(ctx.subnet_id);
 
   Tensor y({n, units_});  // zero-filled; inactive units stay zero
-  gemm_nt_cols(x, w, y, active.data());  // y (N x U) = x (N x F) * w^T
-  const float* b = bias_.value.data();
-  float* py = y.data();
-  for (int i = 0; i < n; ++i) {
-    for (int u = 0; u < units_; ++u) {
-      if (active[static_cast<std::size_t>(u)]) {
-        py[static_cast<std::int64_t>(i) * units_ + u] += b[u];
-      }
-    }
-  }
+  // y (N x U) = x (N x F) * w^T, bias (and optionally ReLU) fused into the
+  // micro-kernel store. Training passes pack_id 0: weights change every step,
+  // so caching their packed panels would only thrash the cache.
+  gemm_nt_cols_bias(x, w, y, active.data(), bias_.value.data(), relu,
+                    ctx.training ? 0 : pack_id());
 
   if (ctx.training) {
     x_cache_ = x;

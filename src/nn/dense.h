@@ -17,6 +17,8 @@ class Dense final : public MaskedLayer {
   std::string name() const override { return name_; }
   IOSpec wire(const IOSpec& in, Rng& rng) override;
   Tensor forward(const Tensor& x, const SubnetContext& ctx) override;
+  bool can_fuse_relu() const override { return true; }
+  Tensor forward_relu(const Tensor& x, const SubnetContext& ctx) override;
   Tensor backward(const Tensor& grad_y, const SubnetContext& ctx) override;
   Tensor forward_step(const Tensor& x, const Tensor& cached_y, int from_subnet,
                       const SubnetContext& ctx) override;
@@ -25,6 +27,8 @@ class Dense final : public MaskedLayer {
   }
 
  private:
+  Tensor forward_impl(const Tensor& x, const SubnetContext& ctx, bool relu);
+
   std::string name_;
   int out_features_;
 

@@ -73,6 +73,21 @@ class Layer {
 
   virtual Tensor forward(const Tensor& x, const SubnetContext& ctx) = 0;
 
+  /// True iff forward_relu() fuses the following ReLU into this layer's
+  /// output store (bitwise identical to forward() followed by ReLU).
+  /// Network::forward uses this to collapse Layer->ReLU pairs at inference.
+  virtual bool can_fuse_relu() const { return false; }
+
+  /// forward() with a fused trailing ReLU. Only meaningful when
+  /// can_fuse_relu() returns true; the default falls back to plain forward
+  /// (callers must then still apply the ReLU themselves).
+  virtual Tensor forward_relu(const Tensor& x, const SubnetContext& ctx) {
+    return forward(x, ctx);
+  }
+
+  /// True for the ReLU activation layer (fusion target detection).
+  virtual bool is_relu() const { return false; }
+
   /// Consume dL/d(output), return dL/d(input), accumulate parameter grads.
   virtual Tensor backward(const Tensor& grad_y, const SubnetContext& ctx) = 0;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/gemm_kernel.h"
 #include "tensor/ops.h"
 
 namespace stepping {
@@ -211,16 +212,36 @@ const Tensor& MaskedLayer::effective_weights() {
   // Recomputed on every call: weight values change on every optimizer step
   // and masks change during construction, and neither path can be trusted to
   // invalidate a cache; one masked copy per forward is cheap at these sizes.
-  if (w_eff_.shape() != weight_.value.shape()) w_eff_ = Tensor(weight_.value.shape());
+  //
+  // The pack-cache identity, by contrast, must only change when the bytes
+  // do: while rewriting we bit-compare old vs new (memcpy through uint32 so
+  // ±0 and NaN payloads count as changes — exactly what a packed-byte cache
+  // cares about) and draw a fresh pack_id when anything differed. The
+  // per-Param version counter (SGD::step, deserialization) and the dirty
+  // flag are folded in as belt-and-braces for writers that mutate the value
+  // tensor in place without changing any bit we could see mid-race.
+  const bool shape_change = w_eff_.shape() != weight_.value.shape();
+  if (shape_change) w_eff_ = Tensor(weight_.value.shape());
   const float* w = weight_.value.data();
   float* we = w_eff_.data();
+  std::uint32_t diff = 0;
   for (int u = 0; u < units_; ++u) {
     const std::size_t base = static_cast<std::size_t>(u) * cols_;
     for (int c = 0; c < cols_; ++c) {
       const bool keep = prune_mask_[base + c] && structurally_active(u, c);
-      we[base + c] = keep ? w[base + c] : 0.0f;
+      const float nv = keep ? w[base + c] : 0.0f;
+      std::uint32_t ob, nb;
+      std::memcpy(&ob, &we[base + c], sizeof ob);
+      std::memcpy(&nb, &nv, sizeof nb);
+      diff |= ob ^ nb;
+      we[base + c] = nv;
     }
   }
+  if (shape_change || diff != 0 || pack_id_ == 0 ||
+      seen_weight_version_ != weight_.version) {
+    pack_id_ = new_pack_id();
+  }
+  seen_weight_version_ = weight_.version;
   weights_dirty_ = false;
   return w_eff_;
 }

@@ -125,6 +125,12 @@ class MaskedLayer : public Layer {
   Param& bias() { return bias_; }
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
 
+  /// Pack-cache identity of the current effective weights (see
+  /// tensor/gemm_kernel.h). Valid after the last effective_weights() call;
+  /// refreshed whenever the effective bytes change, so inference paths can
+  /// key the persistent packed-weight cache on it. 0 until first use.
+  std::uint64_t pack_id() const { return pack_id_; }
+
  protected:
   /// Called by subclasses from wire(): sizes all masks/accumulators.
   /// `col_group` = columns per input unit; `macs_per_weight` as defined above.
@@ -169,6 +175,8 @@ class MaskedLayer : public Layer {
   std::vector<std::uint8_t> prune_mask_;  // 1 = keep
   Tensor w_eff_;
   bool weights_dirty_ = true;
+  std::uint64_t pack_id_ = 0;  ///< cache identity of w_eff_'s current bytes
+  std::uint64_t seen_weight_version_ = 0;  ///< weight_.version at last refresh
   std::vector<std::uint8_t> active_flags_;  // scratch for active_flags()
 
   std::vector<std::vector<double>> imp_acc_;

@@ -38,7 +38,18 @@ void Network::wire(int in_c, int in_h, int in_w, Rng& rng) {
 Tensor Network::forward(const Tensor& x, const SubnetContext& ctx) {
   assert(wired_);
   Tensor cur = x;
-  for (auto& layer : layers_) cur = layer->forward(cur, ctx);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    // Inference-only fusion: collapse a Layer -> ReLU pair into one fused
+    // forward (bias + ReLU applied in the GEMM epilogue). Training keeps the
+    // unfused path — backward needs the pre-activation cache and ReLU mask.
+    if (!ctx.training && i + 1 < layers_.size() && layers_[i]->can_fuse_relu() &&
+        layers_[i + 1]->is_relu()) {
+      cur = layers_[i]->forward_relu(cur, ctx);
+      ++i;  // the ReLU's work is already done
+      continue;
+    }
+    cur = layers_[i]->forward(cur, ctx);
+  }
   return cur;
 }
 

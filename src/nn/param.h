@@ -1,6 +1,7 @@
 // Trainable parameter: value + gradient + optimizer hints.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,10 @@ struct Param {
   const std::vector<float>* elem_lr_scale = nullptr;
   /// Whether weight decay applies (false for biases / BN affine params).
   bool apply_decay = true;
+  /// Bumped by every optimizer step and by deserialization, so caches keyed
+  /// on the value (the GEMM packed-weight cache) can detect staleness even
+  /// though those writers bypass the owning layer's dirty flag.
+  std::uint64_t version = 0;
 
   void zero_grad() {
     if (grad.shape() != value.shape()) grad = Tensor(value.shape());

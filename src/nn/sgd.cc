@@ -9,6 +9,7 @@ void Sgd::step(const std::vector<Param*>& params, double lr_mult) {
   const float mu = static_cast<float>(cfg_.momentum);
   for (Param* p : params) {
     if (p->grad.shape() != p->value.shape()) continue;  // never touched
+    ++p->version;
     Tensor& v = velocity_[p];
     if (v.shape() != p->value.shape()) v = Tensor(p->value.shape());
     const float wd =

@@ -19,6 +19,7 @@ class ReLU final : public Layer {
   IOSpec wire(const IOSpec& in, Rng& rng) override;
   Tensor forward(const Tensor& x, const SubnetContext& ctx) override;
   Tensor backward(const Tensor& grad_y, const SubnetContext& ctx) override;
+  bool is_relu() const override { return true; }
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<ReLU>(*this);
   }

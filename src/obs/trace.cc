@@ -27,6 +27,9 @@ struct Event {
   const char* cat;
   std::int64_t start_ns;
   std::int64_t dur_ns;
+  const char* akey[kTraceMaxArgs];
+  std::int64_t aval[kTraceMaxArgs];
+  int nargs;
 };
 
 /// Per-thread event buffer: single writer (the owning thread), published to
@@ -129,11 +132,37 @@ std::int64_t trace_now_ns() {
 
 void record_span(const char* name, const char* cat, std::int64_t start_ns,
                  std::int64_t end_ns) {
-  append(local_buffer(), Event{name, cat, start_ns, end_ns - start_ns});
+  Event e{};
+  e.name = name;
+  e.cat = cat;
+  e.start_ns = start_ns;
+  e.dur_ns = end_ns - start_ns;
+  append(local_buffer(), e);
+}
+
+void record_span_args(const char* name, const char* cat, std::int64_t start_ns,
+                      std::int64_t end_ns, const char* const* keys,
+                      const std::int64_t* vals, int nargs) {
+  Event e{};
+  e.name = name;
+  e.cat = cat;
+  e.start_ns = start_ns;
+  e.dur_ns = end_ns - start_ns;
+  e.nargs = nargs < kTraceMaxArgs ? nargs : kTraceMaxArgs;
+  for (int i = 0; i < e.nargs; ++i) {
+    e.akey[i] = keys[i];
+    e.aval[i] = vals[i];
+  }
+  append(local_buffer(), e);
 }
 
 void record_counter(const char* name, std::int64_t value) {
-  append(local_buffer(), Event{name, kCounterCat, trace_now_ns(), value});
+  Event e{};
+  e.name = name;
+  e.cat = kCounterCat;
+  e.start_ns = trace_now_ns();
+  e.dur_ns = value;
+  append(local_buffer(), e);
 }
 
 }  // namespace detail
@@ -204,9 +233,20 @@ TraceStats trace_stop() {
         write_escaped(f, e.name);
         std::fputs("\",\"cat\":\"", f);
         write_escaped(f, e.cat);
-        std::fprintf(f, "\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+        std::fprintf(f, "\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
                      buf->tid, static_cast<double>(e.start_ns) / 1000.0,
                      static_cast<double>(e.dur_ns) / 1000.0);
+        if (e.nargs > 0) {
+          std::fputs(",\"args\":{", f);
+          for (int ai = 0; ai < e.nargs; ++ai) {
+            if (ai != 0) std::fputc(',', f);
+            std::fputc('"', f);
+            write_escaped(f, e.akey[ai]);
+            std::fprintf(f, "\":%lld", static_cast<long long>(e.aval[ai]));
+          }
+          std::fputc('}', f);
+        }
+        std::fputc('}', f);
       }
     }
     stats.events += n;

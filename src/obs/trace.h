@@ -11,16 +11,18 @@
 //     scope; STEPPING_TRACE_SCOPE_CAT("cat", "name") also sets the Perfetto
 //     category. Both names MUST be string literals (or otherwise outlive the
 //     flush) — only the pointers are stored on the hot path.
+//   * TraceScope::arg("key", value) attaches up to kMaxArgs integer args to
+//     a span (Perfetto "args" object; keys must be string literals too).
 //   * trace_counter("name", v) records a counter-track sample (e.g. queue
 //     depth over time).
 //
 // Cost model: with tracing off, a scope is one relaxed atomic load and a
 // branch — bench_obs measures it in the ~1 ns range, invisible next to any
-// kernel. With tracing on, each thread appends 32-byte events to its own
-// fixed-capacity buffer with no locks, no allocation and no syscalls on the
-// hot path (buffers fill-and-drop rather than wrap, so flushing never races
-// slot reuse); the only mutex is taken once per thread at buffer creation
-// and at flush.
+// kernel. With tracing on, each thread appends fixed-size (~104-byte)
+// events to its own fixed-capacity buffer with no locks, no allocation and
+// no syscalls on the hot path (buffers fill-and-drop rather than wrap, so
+// flushing never races slot reuse); the only mutex is taken once per thread
+// at buffer creation and at flush.
 //
 // Determinism contract: tracing reads clocks and writes thread-local memory.
 // It never changes numerics, scheduling or allocation of the traced code, so
@@ -34,6 +36,9 @@
 
 namespace stepping::obs {
 
+/// Max integer args attachable to one span (fixed slots in the event).
+inline constexpr int kTraceMaxArgs = 4;
+
 namespace detail {
 
 /// The only hot-path state: relaxed-loaded by every STEPPING_TRACE_SCOPE.
@@ -44,6 +49,11 @@ std::int64_t trace_now_ns();
 
 void record_span(const char* name, const char* cat, std::int64_t start_ns,
                  std::int64_t end_ns);
+/// Span with integer args; `keys` entries must be string literals (only the
+/// pointers are stored). nargs <= kTraceMaxArgs.
+void record_span_args(const char* name, const char* cat, std::int64_t start_ns,
+                      std::int64_t end_ns, const char* const* keys,
+                      const std::int64_t* vals, int nargs);
 void record_counter(const char* name, std::int64_t value);
 
 }  // namespace detail
@@ -61,7 +71,7 @@ struct TraceStats {
 /// Arm the tracer: spans recorded from now on are written to `path` by
 /// trace_stop() or the process-exit flush. `buffer_events` sets the
 /// per-thread buffer capacity for buffers created after this call
-/// (0 = STEPPING_TRACE_BUF env var, default 1<<18 events ≈ 8 MiB/thread).
+/// (0 = STEPPING_TRACE_BUF env var, default 1<<18 events ≈ 26 MiB/thread).
 /// Calling while already armed only swaps the output path.
 void trace_start(const std::string& path, std::size_t buffer_events = 0);
 
@@ -92,11 +102,23 @@ class TraceScope {
   }
   ~TraceScope() {
     if (active_) {
-      detail::record_span(name_, cat_, start_ns_, detail::trace_now_ns());
+      detail::record_span_args(name_, cat_, start_ns_, detail::trace_now_ns(),
+                               akeys_, avals_, nargs_);
     }
   }
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
+
+  /// Attach an integer arg to this span ("args" object in the trace JSON).
+  /// `key` must be a string literal. Silently drops past kTraceMaxArgs;
+  /// a no-op when the scope is inactive.
+  void arg(const char* key, std::int64_t value) {
+    if (active_ && nargs_ < kTraceMaxArgs) {
+      akeys_[nargs_] = key;
+      avals_[nargs_] = value;
+      ++nargs_;
+    }
+  }
 
  private:
   const bool active_;  ///< armed at construction; the span records even if
@@ -104,6 +126,9 @@ class TraceScope {
   const char* name_ = nullptr;
   const char* cat_ = nullptr;
   std::int64_t start_ns_ = 0;
+  const char* akeys_[kTraceMaxArgs] = {};
+  std::int64_t avals_[kTraceMaxArgs] = {};
+  int nargs_ = 0;
 };
 
 }  // namespace stepping::obs

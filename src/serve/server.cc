@@ -93,6 +93,18 @@ Server::Server(const Network& model, ServeConfig cfg)
   planner_ = std::make_unique<Planner>(
       measure_level_costs(replicas_.front(), cfg_.max_subnet), cfg_.device);
 
+  // Warm every replica's packed-weight cache before workers start: one
+  // forward per replica packs each masked layer's effective weights (the
+  // packed panels are subnet-independent — masking zeroes output rows, not
+  // the operand), so the first real request never pays the pack cost.
+  {
+    SubnetContext warm_ctx;
+    warm_ctx.subnet_id = cfg_.max_subnet;
+    warm_ctx.num_subnets = cfg_.max_subnet;
+    Tensor x0({1, model.input_channels(), model.input_h(), model.input_w()});
+    for (Network& r : replicas_) r.forward(x0, warm_ctx);
+  }
+
   // Resolve every metric handle up front; workers only touch atomics.
   m_.submitted = &registry_.counter("serve_submitted_total");
   m_.rejected = &registry_.counter("serve_rejected_total");
@@ -234,7 +246,7 @@ void Server::worker_main(std::size_t worker_id) {
 
 void Server::process_batch(Network& net, IncrementalExecutor& ex,
                            std::vector<Job>& jobs) {
-  STEPPING_TRACE_SCOPE_CAT("serve", "serve.batch");
+  obs::TraceScope batch_span("serve.batch", "serve");
   const int b = static_cast<int>(jobs.size());
   const int c = net.input_channels(), h = net.input_h(), w = net.input_w();
   const double start_ms = now_ms();
@@ -280,6 +292,8 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
   ex.reset();
   Tensor probs;
   int active = b;
+  int top_level = 0;
+  std::int64_t batch_macs = 0;
   for (int level = 1; level <= cfg_.max_subnet && active > 0; ++level) {
     obs::TraceScope step_span(step_span_name(level), "serve");
     const double level_start = now_ms();
@@ -295,6 +309,11 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
       y = net.forward(x, ctx);
       step_img = planner_->costs().full[static_cast<std::size_t>(level - 1)];
     }
+    step_span.arg("batch", active);
+    step_span.arg("level", level);
+    step_span.arg("macs", step_img * active);
+    top_level = level;
+    batch_macs += step_img * active;
     const double now = now_ms();
     softmax_rows(y, probs);
     m_.step_passes[static_cast<std::size_t>(level - 1)]->inc();
@@ -363,6 +382,10 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
       }
     }
   }
+
+  batch_span.arg("batch", b);
+  batch_span.arg("level", top_level);
+  batch_span.arg("macs", batch_macs);
 
   // Update the counters BEFORE fulfilling any promise: a caller observing
   // its future resolved must also observe its request in the counters.

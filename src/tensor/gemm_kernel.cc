@@ -1,11 +1,17 @@
 #include "tensor/gemm_kernel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdio>
 #include <cstring>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -54,6 +60,36 @@ obs::Counter& packs_performed() {
   return c;
 }
 
+obs::Counter& packcache_hits() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("stepping_packcache_hits_total");
+  return c;
+}
+
+obs::Counter& packcache_misses() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("stepping_packcache_misses_total");
+  return c;
+}
+
+obs::Counter& packcache_bytes_packed() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("stepping_packcache_bytes_total");
+  return c;
+}
+
+obs::Counter& packcache_evictions() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("stepping_packcache_evictions_total");
+  return c;
+}
+
+obs::Gauge& packcache_bytes_now() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("stepping_packcache_bytes");
+  return g;
+}
+
 }  // namespace
 
 GemmBlocking env_gemm_blocking() {
@@ -87,9 +123,14 @@ GemmBlocking gemm_blocking() {
 }
 
 void set_gemm_blocking(const GemmBlocking& cfg) {
-  std::lock_guard<std::mutex> lock(cfg_mutex());
-  cfg_slot() = cfg;
-  cfg_initialized() = true;
+  {
+    std::lock_guard<std::mutex> lock(cfg_mutex());
+    cfg_slot() = cfg;
+    cfg_initialized() = true;
+  }
+  // Block sizes change the packed-panel layout; cached buffers for the old
+  // blocking would be read with the new offsets. Drop them all.
+  flush_pack_cache();
 }
 
 bool gemm_uses_blocked(std::int64_t m, std::int64_t k, std::int64_t n,
@@ -234,6 +275,57 @@ void gemm_tn_rows(const float* pat, const float* pb, float* pc, int m, int k,
   });
 }
 
+// The fused references replay the unfused sequence gemm -> bias -> relu
+// per element. Each element's op chain is independent and a float
+// store/load round trip is bit-exact, so fusing the chain is bitwise
+// identical to running the three passes back to back.
+
+void gemm_nt_cols_bias(const float* pa, const float* pbt, float* pc, int m,
+                       int k, int n, const unsigned char* col_active,
+                       const float* bias, bool relu) {
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + static_cast<std::size_t>(i) * k;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        if (!col_active[j]) continue;
+        const float* btrow = pbt + static_cast<std::size_t>(j) * k;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
+        float v = crow[j] + acc;
+        v += bias[j];
+        if (relu) v = v > 0.0f ? v : 0.0f;
+        crow[j] = v;
+      }
+    }
+  });
+}
+
+void gemm_rows_bias(const float* pa, const float* pb, float* pc, int m, int k,
+                    int n, const unsigned char* row_active, const float* bias,
+                    bool relu) {
+  parallel_for_cost(0, m, static_cast<std::int64_t>(k) * n,
+                    [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      if (!row_active[i]) continue;
+      const float* arow = pa + static_cast<std::size_t>(i) * k;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = pb + static_cast<std::size_t>(p) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+      const float bi = bias[i];
+      for (int j = 0; j < n; ++j) crow[j] += bi;
+      if (relu) {
+        for (int j = 0; j < n; ++j) crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f;
+      }
+    }
+  });
+}
+
 }  // namespace gemmref
 
 // ---------------------------------------------------------------------------
@@ -288,6 +380,152 @@ void pack_b_block(const float* b, int k_dim, int n_dim, int pc, int jc, int bk,
   packs_performed().inc();
 }
 
+// ---------------------------------------------------------------------------
+// Persistent packed-weight cache. Keyed on (pack_id, k, n, NC): pack_id is
+// a never-reused identity for one snapshot of the operand bytes (owners
+// draw a new one on any change), and k/n/NC pin the panel layout. Values
+// are shared_ptrs, so a buffer being read can be evicted concurrently
+// without invalidating the reader.
+// ---------------------------------------------------------------------------
+
+struct PackKey {
+  std::uint64_t id;
+  int k;
+  int n;
+  int nc;
+  bool operator==(const PackKey& o) const {
+    return id == o.id && k == o.k && n == o.n && nc == o.nc;
+  }
+};
+
+struct PackKeyHash {
+  std::size_t operator()(const PackKey& key) const {
+    std::uint64_t h = key.id * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.k)) << 32;
+    h ^= static_cast<std::uint32_t>(key.n) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.nc)) << 13);
+    return static_cast<std::size_t>(h ^ (h >> 29));
+  }
+};
+
+using PackedBuffer = std::shared_ptr<const std::vector<float>>;
+
+class PackCache {
+ public:
+  PackedBuffer find(const PackKey& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return it->second.data;
+  }
+
+  void insert(const PackKey& key, PackedBuffer data, std::size_t limit_bytes) {
+    const std::size_t bytes = data->size() * sizeof(float);
+    if (bytes > limit_bytes) return;  // would only evict itself
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.find(key) != map_.end()) return;  // racing packer won
+    lru_.push_front(key);
+    map_.emplace(key, Slot{std::move(data), lru_.begin()});
+    bytes_ += bytes;
+    evict_to(limit_bytes);
+    packcache_bytes_now().set(static_cast<std::int64_t>(bytes_));
+  }
+
+  void trim(std::size_t limit_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    evict_to(limit_bytes);
+    packcache_bytes_now().set(static_cast<std::int64_t>(bytes_));
+  }
+
+  void flush() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    lru_.clear();
+    bytes_ = 0;
+    packcache_bytes_now().set(0);
+  }
+
+  std::size_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+
+  std::size_t entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  struct Slot {
+    PackedBuffer data;
+    std::list<PackKey>::iterator pos;
+  };
+
+  void evict_to(std::size_t limit_bytes) {  // caller holds mu_
+    while (bytes_ > limit_bytes && !lru_.empty()) {
+      auto vit = map_.find(lru_.back());
+      bytes_ -= vit->second.data->size() * sizeof(float);
+      map_.erase(vit);
+      lru_.pop_back();
+      packcache_evictions().inc();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::list<PackKey> lru_;  ///< front = most recently used
+  std::unordered_map<PackKey, Slot, PackKeyHash> map_;
+  std::size_t bytes_ = 0;
+};
+
+PackCache& pack_cache() {
+  // Leaked: kernels may run during static destruction of other objects.
+  static PackCache* c = new PackCache;
+  return *c;
+}
+
+std::atomic<long>& pack_limit_slot() {
+  static std::atomic<long> v{-1};  // -1 = read STEPPING_PACK_CACHE_MB lazily
+  return v;
+}
+
+/// Look up (or pack + insert) the fully packed Bt for a dot-family call.
+/// Returns nullptr when caching is disabled; the caller then packs into its
+/// arena per block as before. The miss path packs every NC block at its
+/// deterministic offset with the same pack_b_block the uncached path uses,
+/// so cached and uncached panels are byte-identical.
+PackedBuffer acquire_packed(std::uint64_t pack_id, const float* bt, int k,
+                            int n, int nc, bool* hit) {
+  const long limit_mb = pack_cache_limit_mb();
+  if (limit_mb <= 0) return nullptr;
+  const PackKey key{pack_id, k, n, nc};
+  STEPPING_TRACE_SCOPE_CAT("kernel", "gemm.packcache");
+  if (PackedBuffer found = pack_cache().find(key)) {
+    packcache_hits().inc();
+    *hit = true;
+    return found;
+  }
+  packcache_misses().inc();
+  std::size_t total = 0;
+  for (int jc = 0; jc < n; jc += nc) {
+    const int bn = std::min(nc, n - jc);
+    total += static_cast<std::size_t>((bn + kNR - 1) / kNR) * kNR *
+             static_cast<std::size_t>(k);
+  }
+  auto buf = std::make_shared<std::vector<float>>(total);
+  std::size_t off = 0;
+  for (int jc = 0; jc < n; jc += nc) {
+    const int bn = std::min(nc, n - jc);
+    pack_b_block<true>(bt, k, n, 0, jc, k, bn, buf->data() + off);
+    off += static_cast<std::size_t>((bn + kNR - 1) / kNR) * kNR *
+           static_cast<std::size_t>(k);
+  }
+  packcache_bytes_packed().inc(total * sizeof(float));
+  PackedBuffer out = std::move(buf);
+  pack_cache().insert(key, out, static_cast<std::size_t>(limit_mb) << 20);
+  return out;
+}
+
 // Explicit 4-lane vectors (GCC/Clang vector extension, SSE2 baseline).
 // Lane-wise += and * are the exact scalar operations on each element in the
 // same per-element order, so vectorizing this way cannot perturb bits. The
@@ -310,9 +548,15 @@ inline v4f loadu4(const float* p) {
 /// removed the unpredictable per-term branch that would dominate a branchy
 /// micro-kernel. Lanes at j >= w accumulate against the panel's zero
 /// padding and are not stored back.
+///
+/// When `epi` is set (fused epilogue, final KC chunk only) the store adds
+/// the row's bias — and applies ReLU if `relu` — to each element before
+/// writing: the same value the unfused sequence produces, since the
+/// reference's intermediate store/load round trips are bit-exact.
 template <bool Pair>
 inline void axpy_row_panels(const float* vals, const int* idxs, int nnz,
-                            const float* bp0, float* crow, int w, int bk) {
+                            const float* bp0, float* crow, int w, int bk,
+                            bool epi, float bias, bool relu) {
   constexpr int kW = Pair ? 2 * kNR : kNR;
   const float* bp1 = bp0 + static_cast<std::size_t>(bk) * kNR;  // next panel
   float init[kW];
@@ -356,7 +600,15 @@ inline void axpy_row_panels(const float* vals, const int* idxs, int nnz,
   for (int u = 0; u < kW / 4; ++u) {
     __builtin_memcpy(out + 4 * u, &acc[u], sizeof(v4f));
   }
-  for (int j = 0; j < w; ++j) crow[j] = out[j];
+  if (epi) {
+    for (int j = 0; j < w; ++j) {
+      float v = out[j] + bias;
+      if (relu) v = v > 0.0f ? v : 0.0f;
+      crow[j] = v;
+    }
+  } else {
+    for (int j = 0; j < w; ++j) crow[j] = out[j];
+  }
 }
 
 /// Dot-family MR x NR register tile over the FULL contraction (this family
@@ -370,7 +622,8 @@ inline void axpy_row_panels(const float* vals, const int* idxs, int nnz,
 template <bool RowMask, bool ColMask, bool Full>
 inline void dot_tile(const float* a, float* c, int k, int n, std::int64_t i0,
                      int h, int j0, int w, int bk, const float* bp,
-                     const unsigned char* rmask, const unsigned char* cmask) {
+                     const unsigned char* rmask, const unsigned char* cmask,
+                     const float* bias, bool relu) {
   const int hh = Full ? kMR : h;
   bool act[kMR];
   for (int r = 0; r < hh; ++r) act[r] = !RowMask || rmask[i0 + r] != 0;
@@ -397,7 +650,15 @@ inline void dot_tile(const float* a, float* c, int k, int n, std::int64_t i0,
     const int ww = Full ? kNR : w;
     for (int j = 0; j < ww; ++j) {
       if (ColMask && cmask[j0 + j] == 0) continue;
-      crow[j] += out[j];
+      // Fused epilogue: the dot family updates C exactly once, so bias/relu
+      // ride on that single store — same per-element op chain as the
+      // unfused gemm -> bias -> relu passes (round trips are bit-exact).
+      float v = crow[j] + out[j];
+      if (bias != nullptr) {
+        v += bias[j0 + j];
+        if (relu) v = v > 0.0f ? v : 0.0f;
+      }
+      crow[j] = v;
     }
   }
 }
@@ -405,26 +666,58 @@ inline void dot_tile(const float* a, float* c, int k, int n, std::int64_t i0,
 template <Fam F, bool ATrans, bool RowMask, bool ColMask, bool KMask>
 void blocked_run(const float* a, const float* b, float* c, int m, int k, int n,
                  const unsigned char* rmask, const unsigned char* cmask,
-                 const unsigned char* kmask, const GemmBlocking& cfg) {
-  STEPPING_TRACE_SCOPE_CAT("kernel", "gemm.blocked");
+                 const unsigned char* kmask, const GemmBlocking& cfg,
+                 const float* bias = nullptr, bool relu = false,
+                 std::uint64_t pack_id = 0) {
+  obs::TraceScope span("gemm.blocked", "kernel");
   const int nc = std::max(cfg.nc, kNR);
   const int mc = std::max(cfg.mc, kMR);
   // Dot-family contraction is never chunked: accumulators must span the
   // full k so C sees exactly one update (determinism contract).
   const int kc = (F == Fam::kDot) ? k : std::max(1, std::min(cfg.kc, k));
 
+  // Persistent packed-weight cache (dot family only: its packed layout is
+  // chunk-free, one contiguous run of NC blocks). Cached panels are the
+  // same bytes pack_b_block writes into the arena, so hit and miss paths
+  // are bitwise interchangeable.
+  bool cache_hit = false;
+  PackedBuffer cached;
+  if constexpr (F == Fam::kDot) {
+    if (pack_id != 0) cached = acquire_packed(pack_id, b, k, n, nc, &cache_hit);
+  }
+  span.arg("m", m);
+  span.arg("k", k);
+  span.arg("n", n);
+  span.arg("hit", cache_hit ? 1 : 0);
+
   ArenaScope scope;
   const int max_bn = std::min(nc, n);
   const int max_panels = (max_bn + kNR - 1) / kNR;
-  float* pack = scope.alloc_floats(static_cast<std::size_t>(max_panels) * kNR *
-                                   static_cast<std::size_t>(kc));
+  float* pack = nullptr;
+  if (cached == nullptr) {
+    pack = scope.alloc_floats(static_cast<std::size_t>(max_panels) * kNR *
+                              static_cast<std::size_t>(kc));
+  }
 
+  std::size_t cache_off = 0;  ///< float offset of this jc block in `cached`
   for (int jc = 0; jc < n; jc += nc) {
     const int bn = std::min(nc, n - jc);
     const int panels = (bn + kNR - 1) / kNR;
+    const std::size_t block_off = cache_off;
+    cache_off += static_cast<std::size_t>(panels) * kNR *
+                 static_cast<std::size_t>(k);
     for (int pc = 0; pc < k; pc += kc) {
       const int bk = std::min(kc, k - pc);
-      pack_b_block<F == Fam::kDot>(b, k, n, pc, jc, bk, bn, pack);
+      const float* packed;
+      if (cached != nullptr) {
+        packed = cached->data() + block_off;  // dot family: bk == k
+      } else {
+        pack_b_block<F == Fam::kDot>(b, k, n, pc, jc, bk, bn, pack);
+        packed = pack;
+      }
+      // Fused epilogue fires on the chunk that completes the contraction
+      // (the dot family never chunks, so always there).
+      const bool epi = bias != nullptr && pc + bk == k;
       // Rows are partitioned exactly like the reference kernels; every C
       // row is owned by one chunk and element values are independent of
       // the partition, so any thread count yields identical bits.
@@ -475,7 +768,7 @@ void blocked_run(const float* a, const float* b, float* c, int m, int k, int n,
             for (; q + 1 < panels; q += 2) {
               // Panel pairs: 16 columns per pass, 4 independent
               // accumulator vectors — enough ILP to hide FP-add latency.
-              const float* bp = pack + static_cast<std::size_t>(q) * bk * kNR;
+              const float* bp = packed + static_cast<std::size_t>(q) * bk * kNR;
               const int j0 = jc + q * kNR;
               const int w = std::min(2 * kNR, jc + bn - j0);
               for (int r = 0; r < rows; ++r) {
@@ -483,11 +776,12 @@ void blocked_run(const float* a, const float* b, float* c, int m, int k, int n,
                 float* crow = c + (static_cast<std::size_t>(g0) + r) * n + j0;
                 axpy_row_panels<true>(vals + static_cast<std::size_t>(r) * bk,
                                       idxs + static_cast<std::size_t>(r) * bk,
-                                      nnz[r], bp, crow, w, bk);
+                                      nnz[r], bp, crow, w, bk, epi,
+                                      epi ? bias[g0 + r] : 0.0f, relu);
               }
             }
             if (q < panels) {
-              const float* bp = pack + static_cast<std::size_t>(q) * bk * kNR;
+              const float* bp = packed + static_cast<std::size_t>(q) * bk * kNR;
               const int j0 = jc + q * kNR;
               const int w = std::min(kNR, jc + bn - j0);
               for (int r = 0; r < rows; ++r) {
@@ -495,7 +789,8 @@ void blocked_run(const float* a, const float* b, float* c, int m, int k, int n,
                 float* crow = c + (static_cast<std::size_t>(g0) + r) * n + j0;
                 axpy_row_panels<false>(vals + static_cast<std::size_t>(r) * bk,
                                        idxs + static_cast<std::size_t>(r) * bk,
-                                       nnz[r], bp, crow, w, bk);
+                                       nnz[r], bp, crow, w, bk, epi,
+                                       epi ? bias[g0 + r] : 0.0f, relu);
               }
             }
             continue;
@@ -503,18 +798,20 @@ void blocked_run(const float* a, const float* b, float* c, int m, int k, int n,
           for (int q = 0; q < panels; ++q) {
             // One B micro-panel stays L1-resident across the whole MC row
             // group before moving to the next panel.
-            const float* bp = pack + static_cast<std::size_t>(q) * bk * kNR;
+            const float* bp = packed + static_cast<std::size_t>(q) * bk * kNR;
             const int j0 = jc + q * kNR;
             const int w = std::min(kNR, jc + bn - j0);
+            const float* ebias = epi ? bias : nullptr;
             for (std::int64_t i0 = g0; i0 < g1; i0 += kMR) {
               const int h = static_cast<int>(
                   std::min<std::int64_t>(kMR, g1 - i0));
               if (h == kMR && w == kNR) {
                 dot_tile<RowMask, ColMask, true>(a, c, k, n, i0, h, j0, w, bk,
-                                                 bp, rmask, cmask);
+                                                 bp, rmask, cmask, ebias, relu);
               } else {
                 dot_tile<RowMask, ColMask, false>(a, c, k, n, i0, h, j0, w, bk,
-                                                  bp, rmask, cmask);
+                                                  bp, rmask, cmask, ebias,
+                                                  relu);
               }
             }
           }
@@ -525,6 +822,41 @@ void blocked_run(const float* a, const float* b, float* c, int m, int k, int n,
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Pack-cache public API.
+// ---------------------------------------------------------------------------
+
+std::uint64_t new_pack_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void flush_pack_cache() { pack_cache().flush(); }
+
+long pack_cache_limit_mb() {
+  long v = pack_limit_slot().load(std::memory_order_relaxed);
+  if (v >= 0) return v;
+  const long env = env_or_int("STEPPING_PACK_CACHE_MB", 64);
+  long expected = -1;
+  pack_limit_slot().compare_exchange_strong(expected, env < 0 ? 0 : env,
+                                            std::memory_order_relaxed);
+  return pack_limit_slot().load(std::memory_order_relaxed);
+}
+
+void set_pack_cache_limit_mb(long mb) {
+  if (mb < 0) mb = 0;
+  pack_limit_slot().store(mb, std::memory_order_relaxed);
+  if (mb == 0) {
+    pack_cache().flush();
+  } else {
+    pack_cache().trim(static_cast<std::size_t>(mb) << 20);
+  }
+}
+
+std::size_t pack_cache_bytes() { return pack_cache().bytes(); }
+
+std::size_t pack_cache_entries() { return pack_cache().entries(); }
 
 // ---------------------------------------------------------------------------
 // Dispatchers.
@@ -623,6 +955,35 @@ void gemm_tn_rows(const float* at, const float* b, float* c, int m, int k,
   std::fill(c, c + static_cast<std::size_t>(m) * n, 0.0f);
   blocked_run<Fam::kAxpy, true, false, false, true>(
       at, b, c, m, k, n, nullptr, nullptr, k_active, cfg);
+}
+
+void gemm_nt_cols_bias(const float* a, const float* bt, float* c, int m, int k,
+                       int n, const unsigned char* col_active,
+                       const float* bias, bool relu, std::uint64_t pack_id) {
+  const GemmBlocking cfg = gemm_blocking();
+  if (!gemm_uses_blocked(m, k, n, cfg)) {
+    ref_dispatches().inc();
+    gemmref::gemm_nt_cols_bias(a, bt, c, m, k, n, col_active, bias, relu);
+    return;
+  }
+  blocked_dispatches().inc();
+  blocked_run<Fam::kDot, false, false, true, false>(
+      a, bt, c, m, k, n, nullptr, col_active, nullptr, cfg, bias, relu,
+      pack_id);
+}
+
+void gemm_rows_bias(const float* a, const float* b, float* c, int m, int k,
+                    int n, const unsigned char* row_active, const float* bias,
+                    bool relu) {
+  const GemmBlocking cfg = gemm_blocking();
+  if (!gemm_uses_blocked(m, k, n, cfg)) {
+    ref_dispatches().inc();
+    gemmref::gemm_rows_bias(a, b, c, m, k, n, row_active, bias, relu);
+    return;
+  }
+  blocked_dispatches().inc();
+  blocked_run<Fam::kAxpy, false, true, false, false>(
+      a, b, c, m, k, n, row_active, nullptr, nullptr, cfg, bias, relu);
 }
 
 }  // namespace stepping

@@ -36,8 +36,27 @@
 // "ref" forces the reference path) or set_gemm_blocking(); defaults target
 // a ~256 KiB L2 share. Dispatch, packing and arena usage are instrumented
 // with stepping_gemm_* counters and kernel.gemm.* trace spans.
+//
+// Persistent packed-weight cache (ISSUE 5): dot-family kernels that take a
+// `pack_id` (gemm_nt_cols_bias) can skip the pack stage entirely. The cache
+// keys fully packed B buffers on (pack_id, k, n, NC); `pack_id` values come
+// from new_pack_id() and owners (MaskedLayer) draw a fresh id whenever the
+// weight bytes change — bumping the per-Param `version` counter in
+// SGD::step/deserialization feeds that staleness check. The cached bytes are
+// exactly what pack_b would produce, so the bitwise-vs-reference contract
+// holds by construction at every cache state. Capacity is bounded by
+// STEPPING_PACK_CACHE_MB (default 64, 0 disables) with LRU eviction;
+// instrumented with stepping_packcache_{hits,misses,bytes}_total (+
+// evictions, current-bytes gauge) and `gemm.packcache` spans.
+//
+// Fused epilogues: *_bias kernels apply per-element bias-add (and optional
+// ReLU) inside the micro-kernel store, in the exact per-element op order of
+// the separate-kernel sequence gemm -> add bias -> relu. Per output element
+// the chains are independent, and a float store/load round trip is
+// bit-exact, so fusing is bitwise identical to the unfused sequence.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace stepping {
@@ -65,6 +84,7 @@ GemmBlocking gemm_blocking();
 
 /// Override the configuration (tests/benches). Not thread-safe against
 /// kernels in flight — call between phases, like set_global_threads.
+/// Flushes the pack cache: block sizes change the packed-panel layout.
 void set_gemm_blocking(const GemmBlocking& cfg);
 
 /// The STEPPING_GEMM_BLOCK-derived default (what gemm_blocking() returns
@@ -74,6 +94,27 @@ GemmBlocking env_gemm_blocking();
 /// True if (m, k, n) routes to the blocked path under cfg.
 bool gemm_uses_blocked(std::int64_t m, std::int64_t k, std::int64_t n,
                        const GemmBlocking& cfg);
+
+// ---------------------------------------------------------------------------
+// Persistent packed-weight cache.
+// ---------------------------------------------------------------------------
+
+/// Globally unique, nonzero cache identity for one packed-operand snapshot.
+/// Owners draw a fresh id whenever the operand's bytes change; ids are never
+/// reused, so a stale entry can only ever miss (no pointer-aliasing hazard).
+std::uint64_t new_pack_id();
+
+/// Drop every cached packed buffer (blocking-config change, tests).
+void flush_pack_cache();
+
+/// Capacity override in MiB; <= 0 disables caching and flushes. Overrides
+/// STEPPING_PACK_CACHE_MB (read once on first use, default 64).
+void set_pack_cache_limit_mb(long mb);
+long pack_cache_limit_mb();
+
+/// Current cache occupancy (for tests / introspection).
+std::size_t pack_cache_bytes();
+std::size_t pack_cache_entries();
 
 // ---------------------------------------------------------------------------
 // Dispatching raw-pointer kernels. Same math and dimension conventions as
@@ -111,6 +152,27 @@ void gemm_tn_rows(const float* at, const float* b, float* c, int m, int k,
                   int n, const unsigned char* k_active);
 
 // ---------------------------------------------------------------------------
+// Fused-epilogue kernels (bias-add + optional ReLU in the store).
+// ---------------------------------------------------------------------------
+
+/// gemm_nt_cols, then per active column j: C(i,j) += bias[j], and if `relu`
+/// C(i,j) = max(C(i,j), 0) — fused into the single C store, bitwise
+/// identical to the unfused sequence (inactive columns stay untouched; a
+/// zero-filled C then matches the reference's relu(0) == +0 bit for bit).
+/// `pack_id` != 0 additionally routes Bt's packed panels through the
+/// persistent cache (pass 0 for transient operands, e.g. during training).
+void gemm_nt_cols_bias(const float* a, const float* bt, float* c, int m, int k,
+                       int n, const unsigned char* col_active,
+                       const float* bias, bool relu, std::uint64_t pack_id);
+
+/// gemm_rows, then per active row i: C(i,j) += bias[i] for every j, plus the
+/// optional ReLU — the Conv2d forward epilogue (bias per output unit). The
+/// B operand (im2col patches) is transient, so there is no pack_id here.
+void gemm_rows_bias(const float* a, const float* b, float* c, int m, int k,
+                    int n, const unsigned char* row_active, const float* bias,
+                    bool relu);
+
+// ---------------------------------------------------------------------------
 // Reference kernels: the pre-blocking row-parallel loops, verbatim. The
 // parity grid (tests/gemm_kernel_test.cc) and the bench_ops sweep assert
 // the blocked path against these byte for byte.
@@ -131,6 +193,12 @@ void gemm_nt_rows_acc(const float* a, const float* bt, float* c, int m, int k,
                       int n, const unsigned char* row_active);
 void gemm_tn_rows(const float* at, const float* b, float* c, int m, int k,
                   int n, const unsigned char* k_active);
+void gemm_nt_cols_bias(const float* a, const float* bt, float* c, int m, int k,
+                       int n, const unsigned char* col_active,
+                       const float* bias, bool relu);
+void gemm_rows_bias(const float* a, const float* b, float* c, int m, int k,
+                    int n, const unsigned char* row_active, const float* bias,
+                    bool relu);
 
 }  // namespace gemmref
 

@@ -86,6 +86,28 @@ void gemm_tn_rows(const Tensor& at, const Tensor& b, Tensor& c,
   gemm_tn_rows(at.data(), b.data(), c.data(), m, k, n, k_active);
 }
 
+void gemm_nt_cols_bias(const Tensor& a, const Tensor& bt, Tensor& c,
+                       const unsigned char* col_active, const float* bias,
+                       bool relu, std::uint64_t pack_id) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "gemm_nt_cols_bias");
+  assert(a.rank() == 2 && bt.rank() == 2 && c.rank() == 2);
+  const int m = a.dim(0), k = a.dim(1), n = bt.dim(0);
+  assert(bt.dim(1) == k && c.dim(0) == m && c.dim(1) == n);
+  gemm_nt_cols_bias(a.data(), bt.data(), c.data(), m, k, n, col_active, bias,
+                    relu, pack_id);
+}
+
+void gemm_rows_bias(const Tensor& a, const Tensor& b, Tensor& c,
+                    const unsigned char* row_active, const float* bias,
+                    bool relu) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "gemm_rows_bias");
+  assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  gemm_rows_bias(a.data(), b.data(), c.data(), m, k, n, row_active, bias,
+                 relu);
+}
+
 // ---------------------------------------------------------------------------
 // Reference kernels (Tensor wrappers over gemmref::*), for parity tests
 // and before/after benchmarking. Never dispatch to the blocked path.
@@ -137,6 +159,22 @@ void gemm_tn_rows_ref(const Tensor& at, const Tensor& b, Tensor& c,
   assert(at.rank() == 2 && b.rank() == 2 && c.rank() == 2);
   gemmref::gemm_tn_rows(at.data(), b.data(), c.data(), at.dim(1), at.dim(0),
                         b.dim(1), k_active);
+}
+
+void gemm_nt_cols_bias_ref(const Tensor& a, const Tensor& bt, Tensor& c,
+                           const unsigned char* col_active, const float* bias,
+                           bool relu) {
+  assert(a.rank() == 2 && bt.rank() == 2 && c.rank() == 2);
+  gemmref::gemm_nt_cols_bias(a.data(), bt.data(), c.data(), a.dim(0), a.dim(1),
+                             bt.dim(0), col_active, bias, relu);
+}
+
+void gemm_rows_bias_ref(const Tensor& a, const Tensor& b, Tensor& c,
+                        const unsigned char* row_active, const float* bias,
+                        bool relu) {
+  assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  gemmref::gemm_rows_bias(a.data(), b.data(), c.data(), a.dim(0), a.dim(1),
+                          b.dim(1), row_active, bias, relu);
 }
 
 // ---------------------------------------------------------------------------

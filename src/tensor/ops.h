@@ -12,6 +12,7 @@
 // (STEPPING_THREADS=1 forces serial).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -56,6 +57,25 @@ void gemm_tn_rows(const Tensor& at, const Tensor& b, Tensor& c,
                   const unsigned char* k_active);
 
 // ---------------------------------------------------------------------------
+// Fused-epilogue variants (ISSUE 5): bias-add (+ optional ReLU) applied in
+// the micro-kernel store, in the exact per-element op order of the unfused
+// gemm -> bias -> relu sequence — bitwise identical, two fewer output
+// passes. `pack_id` != 0 (from stepping::new_pack_id(), owned by the layer)
+// routes the Bt packed panels through the persistent packed-weight cache;
+// pass 0 for transient or training-time operands.
+// ---------------------------------------------------------------------------
+
+/// gemm_nt_cols, then per active column j: C(i,j) += bias[j] (+ ReLU).
+void gemm_nt_cols_bias(const Tensor& a, const Tensor& bt, Tensor& c,
+                       const unsigned char* col_active, const float* bias,
+                       bool relu, std::uint64_t pack_id);
+
+/// gemm_rows, then per active row i: C(i,:) += bias[i] (+ ReLU).
+void gemm_rows_bias(const Tensor& a, const Tensor& b, Tensor& c,
+                    const unsigned char* row_active, const float* bias,
+                    bool relu);
+
+// ---------------------------------------------------------------------------
 // Reference GEMM kernels. Same contracts as the kernels above but always
 // running the pre-blocking row-parallel loops (gemmref::* in gemm_kernel.h),
 // regardless of STEPPING_GEMM_BLOCK. The blocked dispatch path is asserted
@@ -77,6 +97,12 @@ void gemm_nt_rows_acc_ref(const Tensor& a, const Tensor& bt, Tensor& c,
                           const unsigned char* row_active);
 void gemm_tn_rows_ref(const Tensor& at, const Tensor& b, Tensor& c,
                       const unsigned char* k_active);
+void gemm_nt_cols_bias_ref(const Tensor& a, const Tensor& bt, Tensor& c,
+                           const unsigned char* col_active, const float* bias,
+                           bool relu);
+void gemm_rows_bias_ref(const Tensor& a, const Tensor& b, Tensor& c,
+                        const unsigned char* row_active, const float* bias,
+                        bool relu);
 
 // ---------------------------------------------------------------------------
 // Convolution lowering.
