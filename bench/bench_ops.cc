@@ -6,9 +6,11 @@
 // sweep over the paper's layer shapes comparing the blocked dispatch path
 // against the reference kernels: each shape line reports ns/op and GFLOP/s
 // for both paths, the blocked/ref speedup, and a bitwise=ok / MISMATCH
-// verdict (memcmp of the two outputs — CI greps for these). The sweep is
-// also written machine-readably to BENCH_gemm.json in the working
-// directory. STEPPING_BENCH_REPS overrides the per-shape rep count.
+// verdict (CI greps for these). The verdict memcmps the blocked route
+// against the dispatcher's fallback route, which is tier-correct at every
+// STEPPING_ISA level; rows carry an "isa" field naming the active tier.
+// The sweep is also written machine-readably to BENCH_gemm.json in the
+// working directory. STEPPING_BENCH_REPS overrides the per-shape rep count.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -24,6 +26,7 @@
 #include "core/macs.h"
 #include "models/models.h"
 #include "nn/conv2d.h"
+#include "tensor/gemm_isa.h"
 #include "tensor/gemm_kernel.h"
 #include "tensor/ops.h"
 #include "util/thread_pool.h"
@@ -201,11 +204,22 @@ SweepRow sweep_shape(int m, int k, int n, int threads, int reps) {
   float* pa = a.data();
   for (std::int64_t i = 0; i < a.numel(); i += 5) pa[i] = 0.0f;
 
+  // Bitwise verdict: the blocked route against the dispatcher's small-shape
+  // fallback route — the within-tier routing invariant that holds at EVERY
+  // ISA tier. On scalar/sse the fallback aliases the reference kernels, so
+  // there this is exactly the historical vs-ref check.
+  Tensor c_fb({m, n});
+  const GemmBlocking ambient = gemm_blocking();
+  GemmBlocking fb_cfg;
+  fb_cfg.force_ref = true;
+  set_gemm_blocking(fb_cfg);
+  gemm(a, b, c_fb);
+  set_gemm_blocking(ambient);
   gemm_ref(a, b, c_ref);  // warm
   gemm(a, b, c_blk);
   const bool bitwise =
-      std::memcmp(c_ref.data(), c_blk.data(),
-                  sizeof(float) * static_cast<std::size_t>(c_ref.numel())) == 0;
+      std::memcmp(c_fb.data(), c_blk.data(),
+                  sizeof(float) * static_cast<std::size_t>(c_fb.numel())) == 0;
 
   const double ref_s = median_seconds(reps, [&] { gemm_ref(a, b, c_ref); });
   const double blk_s = median_seconds(reps, [&] { gemm(a, b, c_blk); });
@@ -242,6 +256,9 @@ void run_gemm_sweep() {
   }
 
   std::vector<SweepRow> rows;
+  // CI's isa-matrix job greps this line to confirm the tier pin took hold.
+  std::printf("gemm sweep isa=%s host_max=%s\n", isa_tier_name(isa_tier()),
+              isa_tier_name(detected_isa_tier()));
   std::printf("GEMM sweep: blocked dispatch vs reference (reps=%d)\n", reps);
   for (const int t : thread_counts) {
     ThreadPool::set_global_threads(t);
@@ -263,11 +280,13 @@ void run_gemm_sweep() {
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const SweepRow& r = rows[i];
       std::fprintf(f,
-                   "  {\"m\": %d, \"k\": %d, \"n\": %d, \"threads\": %d, "
+                   "  {\"isa\": \"%s\", \"m\": %d, \"k\": %d, \"n\": %d, "
+                   "\"threads\": %d, "
                    "\"ref_ns\": %.1f, \"blocked_ns\": %.1f, "
                    "\"speedup\": %.3f, \"blocked_gflops\": %.3f, "
                    "\"bitwise\": %s}%s\n",
-                   r.m, r.k, r.n, r.threads, r.ref_ns, r.blocked_ns, r.speedup,
+                   isa_tier_name(isa_tier()), r.m, r.k, r.n, r.threads,
+                   r.ref_ns, r.blocked_ns, r.speedup,
                    r.blocked_gflops, r.bitwise ? "true" : "false",
                    i + 1 < rows.size() ? "," : "");
     }
@@ -301,9 +320,12 @@ PackRow packcache_shape(int m, int k, int n, int reps) {
   for (std::int64_t i = 0; i < w.numel(); i += 5) pw[i] = 0.0f;
   std::vector<unsigned char> active(static_cast<std::size_t>(n), 1);
 
-  // Reference: unfused gemm -> bias -> relu on the row-parallel path.
+  // Ground truth: the same dispatcher with pack_id 0 (uncached route) —
+  // tier-correct at every ISA level; the sweep's verdict is bitwise
+  // stability ACROSS CACHE STATES, which must hold regardless of tier.
   Tensor c_ref({m, n}), c({m, n});
-  gemm_nt_cols_bias_ref(a, w, c_ref, active.data(), bias.data(), /*relu=*/true);
+  gemm_nt_cols_bias(a, w, c_ref, active.data(), bias.data(), /*relu=*/true,
+                    /*pack_id=*/0);
 
   const std::uint64_t id = new_pack_id();
   const auto run = [&](std::uint64_t pack_id) {
@@ -384,10 +406,11 @@ void run_packcache_sweep() {
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const PackRow& r = rows[i];
       std::fprintf(f,
-                   "  {\"m\": %d, \"k\": %d, \"n\": %d, "
+                   "  {\"isa\": \"%s\", \"m\": %d, \"k\": %d, \"n\": %d, "
                    "\"cold_ns\": %.1f, \"warm_ns\": %.1f, \"off_ns\": %.1f, "
                    "\"warm_speedup\": %.3f, \"bitwise\": %s}%s\n",
-                   r.m, r.k, r.n, r.cold_ns, r.warm_ns, r.off_ns,
+                   isa_tier_name(isa_tier()), r.m, r.k, r.n, r.cold_ns,
+                   r.warm_ns, r.off_ns,
                    r.warm_speedup, r.bitwise ? "true" : "false",
                    i + 1 < rows.size() ? "," : "");
     }

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "tensor/gemm_kernel.h"
 #include "util/arena.h"
@@ -141,41 +142,38 @@ Tensor Conv2d::backward(const Tensor& grad_y_in, const SubnetContext& ctx) {
 Tensor Conv2d::forward_step(const Tensor& x, const Tensor& cached_y,
                             int from_subnet, const SubnetContext& ctx) {
   assert(!ctx.training);
-  if (cached_y.empty()) return forward(x, ctx);
+  // A head recomputes every unit, which is exactly forward().
+  if (cached_y.empty() || is_head_) return forward(x, ctx);
   const int n = x.dim(0);
   const int spatial = geom_.out_h() * geom_.out_w();
   const Tensor& w = effective_weights();
   Tensor y = cached_y;  // reuse results of units evaluated at from_subnet
 
+  // Evaluate only the units joining in (from_subnet, subnet_id], through the
+  // SAME dispatcher forward() uses, so step-up follows the active ISA tier's
+  // multiply-add semantics and stays bit-identical to a from-scratch
+  // evaluation. Joining units are zero in cached_y (masked when it was
+  // produced), so the kernel's accumulate-into-C is an overwrite for them;
+  // reused units are skipped untouched.
+  std::vector<unsigned char> fresh(static_cast<std::size_t>(units_), 0);
+  for (int u = 0; u < units_; ++u) {
+    const int sv = (*out_assign_)[static_cast<std::size_t>(u)];
+    if (sv > from_subnet && sv <= ctx.subnet_id) fresh[static_cast<std::size_t>(u)] = 1;
+  }
+
   ArenaScope ws;
-  float* cols =
-      ws.alloc_floats(static_cast<std::size_t>(geom_.patch()) * spatial);
+  const std::int64_t patch = geom_.patch();
+  float* cols = ws.alloc_floats(static_cast<std::size_t>(patch) * spatial);
   const std::int64_t in_img = static_cast<std::int64_t>(geom_.in_c) * geom_.in_h *
                               geom_.in_w;
   const std::int64_t out_img = static_cast<std::int64_t>(units_) * spatial;
-  const float* b = bias_.value.data();
   for (int i = 0; i < n; ++i) {
     im2col(x.data() + i * in_img, geom_, cols);
-    for (int u = 0; u < units_; ++u) {
-      const int sv = is_head_ ? ctx.subnet_id  // head: always recompute
-                              : (*out_assign_)[static_cast<std::size_t>(u)];
-      const bool is_new = is_head_ || (sv > from_subnet && sv <= ctx.subnet_id);
-      if (!is_new) continue;
-      float* dst = y.data() + i * out_img + static_cast<std::int64_t>(u) * spatial;
-      const float* wrow = w.data() + static_cast<std::int64_t>(u) * cols_;
-      // Same accumulation order as forward's GEMM (bias added last) so
-      // step-up results are bit-identical to a from-scratch evaluation.
-      for (int s = 0; s < spatial; ++s) dst[s] = 0.0f;
-      for (int p = 0; p < cols_; ++p) {
-        const float wv = wrow[p];
-        if (wv == 0.0f) continue;
-        const float* crow = cols + static_cast<std::int64_t>(p) * spatial;
-        for (int s = 0; s < spatial; ++s) dst[s] += wv * crow[s];
-      }
-      for (int s = 0; s < spatial; ++s) dst[s] += b[u];
-    }
+    gemm_rows_bias(w.data(), cols, y.data() + i * out_img, units_,
+                   static_cast<int>(patch), spatial, fresh.data(),
+                   bias_.value.data(), /*relu=*/false);
   }
-  if (!is_head_) mask_inactive_units(y, *out_assign_, 1, ctx.subnet_id);
+  mask_inactive_units(y, *out_assign_, 1, ctx.subnet_id);
   return y;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <vector>
 
 #include "tensor/ops.h"
 
@@ -87,28 +88,25 @@ Tensor Dense::backward(const Tensor& grad_y_in, const SubnetContext& ctx) {
 Tensor Dense::forward_step(const Tensor& x, const Tensor& cached_y,
                            int from_subnet, const SubnetContext& ctx) {
   assert(!ctx.training);
-  if (cached_y.empty()) return forward(x, ctx);
-  const int n = x.dim(0);
+  // A head recomputes every unit, which is exactly forward().
+  if (cached_y.empty() || is_head_) return forward(x, ctx);
   const Tensor& w = effective_weights();
   Tensor y = cached_y;
-  const float* b = bias_.value.data();
-  for (int i = 0; i < n; ++i) {
-    const float* xrow = x.data() + static_cast<std::int64_t>(i) * cols_;
-    float* yrow = y.data() + static_cast<std::int64_t>(i) * units_;
-    for (int u = 0; u < units_; ++u) {
-      const int sv = is_head_ ? ctx.subnet_id
-                              : (*out_assign_)[static_cast<std::size_t>(u)];
-      const bool is_new = is_head_ || (sv > from_subnet && sv <= ctx.subnet_id);
-      if (!is_new) continue;
-      const float* wrow = w.data() + static_cast<std::int64_t>(u) * cols_;
-      // Bias added after the dot product, matching forward's GEMM order so
-      // step-up results are bit-identical to a from-scratch evaluation.
-      float acc = 0.0f;
-      for (int c = 0; c < cols_; ++c) acc += wrow[c] * xrow[c];
-      yrow[u] = acc + b[u];
-    }
+  // Evaluate only the units joining in (from_subnet, subnet_id], through the
+  // SAME dispatcher forward() uses: whatever multiply-add semantics the
+  // active ISA tier has, step-up sees the identical per-element operation
+  // sequence, so results stay bit-identical to a from-scratch evaluation.
+  // Joining units are zero in cached_y (masked when it was produced), so
+  // the kernel's accumulate-into-C is an overwrite for them; reused units
+  // are skipped untouched.
+  std::vector<unsigned char> fresh(static_cast<std::size_t>(units_), 0);
+  for (int u = 0; u < units_; ++u) {
+    const int sv = (*out_assign_)[static_cast<std::size_t>(u)];
+    if (sv > from_subnet && sv <= ctx.subnet_id) fresh[static_cast<std::size_t>(u)] = 1;
   }
-  if (!is_head_) mask_inactive_units(y, *out_assign_, 1, ctx.subnet_id);
+  gemm_nt_cols_bias(x, w, y, fresh.data(), bias_.value.data(), /*relu=*/false,
+                    pack_id());
+  mask_inactive_units(y, *out_assign_, 1, ctx.subnet_id);
   return y;
 }
 

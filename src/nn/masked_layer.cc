@@ -216,7 +216,10 @@ const Tensor& MaskedLayer::effective_weights() {
   // The pack-cache identity, by contrast, must only change when the bytes
   // do: while rewriting we bit-compare old vs new (memcpy through uint32 so
   // ±0 and NaN payloads count as changes — exactly what a packed-byte cache
-  // cares about) and draw a fresh pack_id when anything differed. The
+  // cares about) and draw a fresh pack_id when anything differed. (The ISA
+  // tier is NOT part of this identity — panel layout varies with the tier's
+  // NR, so the pack cache folds the active tier into its own key and
+  // flushes on set_isa_tier; pack_id only names the weight bytes.) The
   // per-Param version counter (SGD::step, deserialization) and the dirty
   // flag are folded in as belt-and-braces for writers that mutate the value
   // tensor in place without changing any bit we could see mid-race.

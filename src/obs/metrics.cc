@@ -36,6 +36,45 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+/// Shared quantile estimator over an arbitrary bucket-count vector (the
+/// cumulative state or a window delta). Linear interpolation inside the
+/// containing bucket, like Histogram::quantile always did.
+double quantile_from_counts(const std::vector<std::uint64_t>& counts,
+                            double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile among `total` samples, in [0, total].
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    const double c = static_cast<double>(counts[static_cast<std::size_t>(i)]);
+    if (c == 0.0) continue;
+    if (cum + c >= rank) {
+      const double lower = i == 0 ? 0.0 : bounds().b[i - 1];
+      const double upper = bounds().b[i];
+      const double frac = std::clamp((rank - cum) / c, 0.0, 1.0);
+      return lower + (upper - lower) * frac;
+    }
+    cum += c;
+  }
+  return bounds().b[Histogram::kNumBuckets - 1];  // all mass in overflow
+}
+
+/// Per-bucket delta current - base, saturating at zero (counts are
+/// monotone; saturation only matters for racy relaxed reads).
+std::vector<std::uint64_t> delta_counts(
+    const std::vector<std::uint64_t>& current,
+    const std::vector<std::uint64_t>& base) {
+  std::vector<std::uint64_t> out = current;
+  const std::size_t n = std::min(out.size(), base.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = out[i] >= base[i] ? out[i] - base[i] : 0;
+  }
+  return out;
+}
+
 }  // namespace
 
 double Histogram::bucket_bound(int i) {
@@ -69,26 +108,28 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 }
 
 double Histogram::quantile(double q) const {
-  const std::vector<std::uint64_t> counts = bucket_counts();
-  std::uint64_t total = 0;
-  for (const std::uint64_t c : counts) total += c;
-  if (total == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  // Rank of the q-quantile among `total` samples, in [0, total].
-  const double rank = q * static_cast<double>(total);
-  double cum = 0.0;
-  for (int i = 0; i < kNumBuckets; ++i) {
-    const double c = static_cast<double>(counts[static_cast<std::size_t>(i)]);
-    if (c == 0.0) continue;
-    if (cum + c >= rank) {
-      const double lower = i == 0 ? 0.0 : bounds().b[i - 1];
-      const double upper = bounds().b[i];
-      const double frac = std::clamp((rank - cum) / c, 0.0, 1.0);
-      return lower + (upper - lower) * frac;
-    }
-    cum += c;
-  }
-  return bounds().b[kNumBuckets - 1];  // all mass in the overflow bucket
+  return quantile_from_counts(bucket_counts(), q);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.buckets = bucket_counts();
+  s.count = count();
+  s.sum = sum();
+  return s;
+}
+
+std::uint64_t Histogram::count_since(const Snapshot& base) const {
+  const std::uint64_t cur = count();
+  return cur >= base.count ? cur - base.count : 0;
+}
+
+double Histogram::sum_since(const Snapshot& base) const {
+  return sum() - base.sum;
+}
+
+double Histogram::quantile_since(const Snapshot& base, double q) const {
+  return quantile_from_counts(delta_counts(bucket_counts(), base.buckets), q);
 }
 
 Registry::Entry& Registry::find_or_create(const std::string& name, Kind kind) {
@@ -185,6 +226,39 @@ std::string Registry::to_json() const {
                ",\"p95\":" + fmt_double(e.histogram->quantile(0.95)) +
                ",\"p99\":" + fmt_double(e.histogram->quantile(0.99)) + "}";
         break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string Registry::to_json_windowed(Window& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":";
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += std::to_string(e.counter->value());
+        break;
+      case Kind::kGauge:
+        out += std::to_string(e.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        const Histogram::Snapshot& base = w.base[name];  // default = zero
+        out += "{\"count\":" + std::to_string(h.count_since(base)) +
+               ",\"sum\":" + fmt_double(h.sum_since(base)) +
+               ",\"p50\":" + fmt_double(h.quantile_since(base, 0.50)) +
+               ",\"p95\":" + fmt_double(h.quantile_since(base, 0.95)) +
+               ",\"p99\":" + fmt_double(h.quantile_since(base, 0.99)) +
+               ",\"count_total\":" + std::to_string(h.count()) + "}";
+        w.base[name] = h.snapshot();
+        break;
+      }
     }
   }
   out += "}";

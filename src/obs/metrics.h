@@ -82,6 +82,24 @@ class Histogram {
   /// Relaxed snapshot of per-bucket counts (size kNumBuckets).
   std::vector<std::uint64_t> bucket_counts() const;
 
+  /// Point-in-time copy of the cumulative state, used as the baseline of a
+  /// sliding window: the *_since accessors report only on observations made
+  /// after the snapshot was taken. A default-constructed Snapshot (empty
+  /// buckets) is the zero baseline, so *_since(Snapshot{}) == cumulative.
+  struct Snapshot {
+    std::vector<std::uint64_t> buckets;  ///< empty or size kNumBuckets
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  std::uint64_t count_since(const Snapshot& base) const;
+  double sum_since(const Snapshot& base) const;
+  /// Quantile over observations since `base` — current-load latency rather
+  /// than a lifetime aggregate that old samples dominate. Returns 0 when
+  /// the window is empty.
+  double quantile_since(const Snapshot& base, double q) const;
+
  private:
   std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<std::uint64_t> count_{0};
@@ -104,6 +122,20 @@ class Registry {
   /// with count/sum/p50/p95/p99 for histograms. Deterministic ordering
   /// and formatting.
   std::string to_json() const;
+
+  /// Per-caller baseline state for to_json_windowed: the histogram
+  /// snapshots taken at the previous call. Default-constructed = "since
+  /// process start"; keep feeding the same object back to get one-period
+  /// deltas. Not thread-safe — each periodic dumper owns its Window.
+  struct Window {
+    std::map<std::string, Histogram::Snapshot> base;
+  };
+
+  /// Like to_json(), but histogram count/sum/p50/p95/p99 cover only the
+  /// observations since the previous call with this Window (a trailing
+  /// "count_total" field keeps the lifetime count visible). Counters and
+  /// gauges are reported cumulatively as usual. Advances `w`.
+  std::string to_json_windowed(Window& w) const;
 
   /// Process-wide registry for library-level metrics.
   static Registry& global();

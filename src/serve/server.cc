@@ -221,6 +221,11 @@ std::string Server::metrics_json() const {
   return registry_.to_json();
 }
 
+std::string Server::metrics_json_windowed(obs::Registry::Window& w) const {
+  m_.queue_depth->set(static_cast<std::int64_t>(queue_.depth()));
+  return registry_.to_json_windowed(w);
+}
+
 std::string Server::metrics_prometheus() const {
   m_.queue_depth->set(static_cast<std::int64_t>(queue_.depth()));
   return registry_.to_prometheus();

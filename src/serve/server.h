@@ -143,6 +143,11 @@ class Server {
   /// Refreshes the queue-depth gauge first.
   std::string metrics_json() const;
 
+  /// Like metrics_json(), but histogram stats cover only the observations
+  /// since the previous call with the same Window — current-load p50/p95/
+  /// p99 for periodic dumpers rather than lifetime aggregates.
+  std::string metrics_json_windowed(obs::Registry::Window& w) const;
+
   /// Prometheus text exposition of the same registry.
   std::string metrics_prometheus() const;
 

@@ -15,6 +15,8 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/gemm_isa.h"
+#include "tensor/gemm_microkernel.h"
 #include "util/arena.h"
 #include "util/env.h"
 #include "util/thread_pool.h"
@@ -337,42 +339,42 @@ namespace {
 enum class Fam { kAxpy, kDot };
 
 constexpr int kMR = kGemmMR;
-constexpr int kNR = kGemmNR;
 
-/// Pack the (pc..pc+bk) x (jc..jc+bn) block of B into NR-wide panels:
-/// out[q * bk * NR + p * NR + jr] holds B(pc+p, jc+q*NR+jr), zero-padded
+/// Pack the (pc..pc+bk) x (jc..jc+bn) block of B into nr-wide panels:
+/// out[q * bk * nr + p * nr + jr] holds B(pc+p, jc+q*nr+jr), zero-padded
 /// past the last column. BTrans reads the transposed operand Bt (n x k).
-/// Panel contents depend only on B, never on the partition, so parallel
-/// packing is deterministic.
+/// `nr` is the active ISA tier's panel width (runtime since ISSUE 6).
+/// Panel contents depend only on B and nr, never on the partition, so
+/// parallel packing is deterministic.
 template <bool BTrans>
 void pack_b_block(const float* b, int k_dim, int n_dim, int pc, int jc, int bk,
-                  int bn, float* out) {
+                  int bn, int nr, float* out) {
   STEPPING_TRACE_SCOPE_CAT("kernel", "gemm.pack");
   (void)k_dim;
   (void)n_dim;
-  const int panels = (bn + kNR - 1) / kNR;
-  parallel_for_cost(0, panels, static_cast<std::int64_t>(bk) * kNR,
+  const int panels = (bn + nr - 1) / nr;
+  parallel_for_cost(0, panels, static_cast<std::int64_t>(bk) * nr,
                     [&](std::int64_t q0, std::int64_t q1) {
     for (std::int64_t q = q0; q < q1; ++q) {
-      const int j0 = jc + static_cast<int>(q) * kNR;
-      const int w = std::min(kNR, jc + bn - j0);
-      float* dst = out + static_cast<std::size_t>(q) * bk * kNR;
+      const int j0 = jc + static_cast<int>(q) * nr;
+      const int w = std::min(nr, jc + bn - j0);
+      float* dst = out + static_cast<std::size_t>(q) * bk * nr;
       if constexpr (!BTrans) {
         for (int p = 0; p < bk; ++p) {
           const float* src = b + static_cast<std::size_t>(pc + p) * n_dim + j0;
           int jr = 0;
           for (; jr < w; ++jr) dst[jr] = src[jr];
-          for (; jr < kNR; ++jr) dst[jr] = 0.0f;
-          dst += kNR;
+          for (; jr < nr; ++jr) dst[jr] = 0.0f;
+          dst += nr;
         }
       } else {
         // Bt is (n x k): read column j0+jr of B contiguously from Bt's row.
         for (int jr = 0; jr < w; ++jr) {
           const float* src = b + static_cast<std::size_t>(j0 + jr) * k_dim + pc;
-          for (int p = 0; p < bk; ++p) dst[p * kNR + jr] = src[p];
+          for (int p = 0; p < bk; ++p) dst[p * nr + jr] = src[p];
         }
-        for (int jr = w; jr < kNR; ++jr) {
-          for (int p = 0; p < bk; ++p) dst[p * kNR + jr] = 0.0f;
+        for (int jr = w; jr < nr; ++jr) {
+          for (int p = 0; p < bk; ++p) dst[p * nr + jr] = 0.0f;
         }
       }
     }
@@ -381,11 +383,12 @@ void pack_b_block(const float* b, int k_dim, int n_dim, int pc, int jc, int bk,
 }
 
 // ---------------------------------------------------------------------------
-// Persistent packed-weight cache. Keyed on (pack_id, k, n, NC): pack_id is
-// a never-reused identity for one snapshot of the operand bytes (owners
-// draw a new one on any change), and k/n/NC pin the panel layout. Values
-// are shared_ptrs, so a buffer being read can be evicted concurrently
-// without invalidating the reader.
+// Persistent packed-weight cache. Keyed on (pack_id, k, n, NC, tier):
+// pack_id is a never-reused identity for one snapshot of the operand bytes
+// (owners draw a new one on any change), k/n/NC pin the panel layout, and
+// the ISA tier pins the panel width NR (ISSUE 6) — panels packed for one
+// tier are laid out wrong for another. Values are shared_ptrs, so a buffer
+// being read can be evicted concurrently without invalidating the reader.
 // ---------------------------------------------------------------------------
 
 struct PackKey {
@@ -393,8 +396,9 @@ struct PackKey {
   int k;
   int n;
   int nc;
+  int tier;
   bool operator==(const PackKey& o) const {
-    return id == o.id && k == o.k && n == o.n && nc == o.nc;
+    return id == o.id && k == o.k && n == o.n && nc == o.nc && tier == o.tier;
   }
 };
 
@@ -404,6 +408,7 @@ struct PackKeyHash {
     h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.k)) << 32;
     h ^= static_cast<std::uint32_t>(key.n) ^
          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.nc)) << 13);
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.tier)) << 47;
     return static_cast<std::size_t>(h ^ (h >> 29));
   }
 };
@@ -495,10 +500,10 @@ std::atomic<long>& pack_limit_slot() {
 /// deterministic offset with the same pack_b_block the uncached path uses,
 /// so cached and uncached panels are byte-identical.
 PackedBuffer acquire_packed(std::uint64_t pack_id, const float* bt, int k,
-                            int n, int nc, bool* hit) {
+                            int n, int nc, int nr, IsaTier tier, bool* hit) {
   const long limit_mb = pack_cache_limit_mb();
   if (limit_mb <= 0) return nullptr;
-  const PackKey key{pack_id, k, n, nc};
+  const PackKey key{pack_id, k, n, nc, static_cast<int>(tier)};
   STEPPING_TRACE_SCOPE_CAT("kernel", "gemm.packcache");
   if (PackedBuffer found = pack_cache().find(key)) {
     packcache_hits().inc();
@@ -509,15 +514,15 @@ PackedBuffer acquire_packed(std::uint64_t pack_id, const float* bt, int k,
   std::size_t total = 0;
   for (int jc = 0; jc < n; jc += nc) {
     const int bn = std::min(nc, n - jc);
-    total += static_cast<std::size_t>((bn + kNR - 1) / kNR) * kNR *
+    total += static_cast<std::size_t>((bn + nr - 1) / nr) * nr *
              static_cast<std::size_t>(k);
   }
   auto buf = std::make_shared<std::vector<float>>(total);
   std::size_t off = 0;
   for (int jc = 0; jc < n; jc += nc) {
     const int bn = std::min(nc, n - jc);
-    pack_b_block<true>(bt, k, n, 0, jc, k, bn, buf->data() + off);
-    off += static_cast<std::size_t>((bn + kNR - 1) / kNR) * kNR *
+    pack_b_block<true>(bt, k, n, 0, jc, k, bn, nr, buf->data() + off);
+    off += static_cast<std::size_t>((bn + nr - 1) / nr) * nr *
            static_cast<std::size_t>(k);
   }
   packcache_bytes_packed().inc(total * sizeof(float));
@@ -526,142 +531,12 @@ PackedBuffer acquire_packed(std::uint64_t pack_id, const float* bt, int k,
   return out;
 }
 
-// Explicit 4-lane vectors (GCC/Clang vector extension, SSE2 baseline).
-// Lane-wise += and * are the exact scalar operations on each element in the
-// same per-element order, so vectorizing this way cannot perturb bits. The
-// explicit form exists because GCC 12's auto-vectorizer turns the scalar
-// version of these loops into an interleaved gather across contraction
-// steps (~7x slower) while still being bit-exact.
-typedef float v4f __attribute__((vector_size(16)));
-
-inline v4f loadu4(const float* p) {
-  v4f v;
-  __builtin_memcpy(&v, p, sizeof v);
-  return v;
-}
-
-/// Axpy-family inner kernel: one C row against one (Pair=false) or two
-/// adjacent (Pair=true) packed B panels. The caller compacted the row's
-/// contraction terms — ascending p, the reference's av == 0.0f terms
-/// dropped — into (vals, idxs), so the hot loop is branchless: per element
-/// the reference's operation sequence is replayed exactly, compaction only
-/// removed the unpredictable per-term branch that would dominate a branchy
-/// micro-kernel. Lanes at j >= w accumulate against the panel's zero
-/// padding and are not stored back.
-///
-/// When `epi` is set (fused epilogue, final KC chunk only) the store adds
-/// the row's bias — and applies ReLU if `relu` — to each element before
-/// writing: the same value the unfused sequence produces, since the
-/// reference's intermediate store/load round trips are bit-exact.
-template <bool Pair>
-inline void axpy_row_panels(const float* vals, const int* idxs, int nnz,
-                            const float* bp0, float* crow, int w, int bk,
-                            bool epi, float bias, bool relu) {
-  constexpr int kW = Pair ? 2 * kNR : kNR;
-  const float* bp1 = bp0 + static_cast<std::size_t>(bk) * kNR;  // next panel
-  float init[kW];
-  for (int j = 0; j < kW; ++j) init[j] = (j < w) ? crow[j] : 0.0f;
-  v4f acc[kW / 4];
-  for (int u = 0; u < kW / 4; ++u) acc[u] = loadu4(init + 4 * u);
-  // Unrolled by two contraction terms: same accumulator sequence (term t
-  // fully applied before term t+1), half the loop-control overhead.
-  int t = 0;
-  for (; t + 1 < nnz; t += 2) {
-    const float av0 = vals[t], av1 = vals[t + 1];
-    const v4f a0 = {av0, av0, av0, av0};
-    const v4f a1 = {av1, av1, av1, av1};
-    const std::size_t o0 = static_cast<std::size_t>(idxs[t]) * kNR;
-    const std::size_t o1 = static_cast<std::size_t>(idxs[t + 1]) * kNR;
-    acc[0] += a0 * loadu4(bp0 + o0);
-    acc[1] += a0 * loadu4(bp0 + o0 + 4);
-    if constexpr (Pair) {
-      acc[2] += a0 * loadu4(bp1 + o0);
-      acc[3] += a0 * loadu4(bp1 + o0 + 4);
-    }
-    acc[0] += a1 * loadu4(bp0 + o1);
-    acc[1] += a1 * loadu4(bp0 + o1 + 4);
-    if constexpr (Pair) {
-      acc[2] += a1 * loadu4(bp1 + o1);
-      acc[3] += a1 * loadu4(bp1 + o1 + 4);
-    }
-  }
-  for (; t < nnz; ++t) {
-    const float av = vals[t];
-    const v4f av4 = {av, av, av, av};
-    const std::size_t off = static_cast<std::size_t>(idxs[t]) * kNR;
-    acc[0] += av4 * loadu4(bp0 + off);
-    acc[1] += av4 * loadu4(bp0 + off + 4);
-    if constexpr (Pair) {
-      acc[2] += av4 * loadu4(bp1 + off);
-      acc[3] += av4 * loadu4(bp1 + off + 4);
-    }
-  }
-  float out[kW];
-  for (int u = 0; u < kW / 4; ++u) {
-    __builtin_memcpy(out + 4 * u, &acc[u], sizeof(v4f));
-  }
-  if (epi) {
-    for (int j = 0; j < w; ++j) {
-      float v = out[j] + bias;
-      if (relu) v = v > 0.0f ? v : 0.0f;
-      crow[j] = v;
-    }
-  } else {
-    for (int j = 0; j < w; ++j) crow[j] = out[j];
-  }
-}
-
-/// Dot-family MR x NR register tile over the FULL contraction (this family
-/// never chunks k): accumulators start at zero, add every term in
-/// ascending-p order, and C is updated exactly once per element — the
-/// reference's single `crow[j] += acc` — so blocking matches bitwise. The
-/// dot family takes A untransposed and has no contraction mask (gemm_nt,
-/// gemm_nt_cols, gemm_nt_rows_acc), so `p` indexes A rows directly. Row
-/// activity is fixed across the p loop, so its branch predicts perfectly —
-/// unlike the axpy family's data-dependent zero skip, no compaction needed.
-template <bool RowMask, bool ColMask, bool Full>
-inline void dot_tile(const float* a, float* c, int k, int n, std::int64_t i0,
-                     int h, int j0, int w, int bk, const float* bp,
-                     const unsigned char* rmask, const unsigned char* cmask,
-                     const float* bias, bool relu) {
-  const int hh = Full ? kMR : h;
-  bool act[kMR];
-  for (int r = 0; r < hh; ++r) act[r] = !RowMask || rmask[i0 + r] != 0;
-  v4f acc[kMR][2];
-  for (int r = 0; r < hh; ++r) acc[r][0] = acc[r][1] = v4f{};
-  for (int p = 0; p < bk; ++p) {
-    const float* brow = bp + static_cast<std::size_t>(p) * kNR;
-    const v4f b0 = loadu4(brow);
-    const v4f b1 = loadu4(brow + 4);
-    for (int r = 0; r < hh; ++r) {
-      if (RowMask && !act[r]) continue;
-      const float av = a[(static_cast<std::size_t>(i0) + r) * k + p];
-      const v4f av4 = {av, av, av, av};
-      acc[r][0] += av4 * b0;
-      acc[r][1] += av4 * b1;
-    }
-  }
-  for (int r = 0; r < hh; ++r) {
-    if (RowMask && !act[r]) continue;
-    float out[kNR];
-    __builtin_memcpy(out, &acc[r][0], sizeof(v4f));
-    __builtin_memcpy(out + 4, &acc[r][1], sizeof(v4f));
-    float* crow = c + (static_cast<std::size_t>(i0) + r) * n + j0;
-    const int ww = Full ? kNR : w;
-    for (int j = 0; j < ww; ++j) {
-      if (ColMask && cmask[j0 + j] == 0) continue;
-      // Fused epilogue: the dot family updates C exactly once, so bias/relu
-      // ride on that single store — same per-element op chain as the
-      // unfused gemm -> bias -> relu passes (round trips are bit-exact).
-      float v = crow[j] + out[j];
-      if (bias != nullptr) {
-        v += bias[j0 + j];
-        if (relu) v = v > 0.0f ? v : 0.0f;
-      }
-      crow[j] = v;
-    }
-  }
-}
+// The micro-kernels themselves (axpy_row_panels / dot_tile) moved to
+// gemm_microkernel_impl.h for ISSUE 6: they are compiled once per ISA tier
+// with that tier's -m flags (gemm_microkernel_{scalar,sse,avx2,avx512}.cc)
+// and reached through the active KernelTable's function pointers. The
+// driver below is tier-agnostic — it reads the table once per call and
+// threads the tier's panel width `nr` through packing and tiling.
 
 template <Fam F, bool ATrans, bool RowMask, bool ColMask, bool KMask>
 void blocked_run(const float* a, const float* b, float* c, int m, int k, int n,
@@ -670,7 +545,9 @@ void blocked_run(const float* a, const float* b, float* c, int m, int k, int n,
                  const float* bias = nullptr, bool relu = false,
                  std::uint64_t pack_id = 0) {
   obs::TraceScope span("gemm.blocked", "kernel");
-  const int nc = std::max(cfg.nc, kNR);
+  const microkernel::KernelTable& kt = microkernel::active_table();
+  const int nr = kt.nr;
+  const int nc = std::max(cfg.nc, nr);
   const int mc = std::max(cfg.mc, kMR);
   // Dot-family contraction is never chunked: accumulators must span the
   // full k so C sees exactly one update (determinism contract).
@@ -683,28 +560,31 @@ void blocked_run(const float* a, const float* b, float* c, int m, int k, int n,
   bool cache_hit = false;
   PackedBuffer cached;
   if constexpr (F == Fam::kDot) {
-    if (pack_id != 0) cached = acquire_packed(pack_id, b, k, n, nc, &cache_hit);
+    if (pack_id != 0) {
+      cached = acquire_packed(pack_id, b, k, n, nc, nr, kt.tier, &cache_hit);
+    }
   }
   span.arg("m", m);
   span.arg("k", k);
   span.arg("n", n);
   span.arg("hit", cache_hit ? 1 : 0);
+  span.arg("isa", static_cast<int>(kt.tier));
 
   ArenaScope scope;
   const int max_bn = std::min(nc, n);
-  const int max_panels = (max_bn + kNR - 1) / kNR;
+  const int max_panels = (max_bn + nr - 1) / nr;
   float* pack = nullptr;
   if (cached == nullptr) {
-    pack = scope.alloc_floats(static_cast<std::size_t>(max_panels) * kNR *
+    pack = scope.alloc_floats(static_cast<std::size_t>(max_panels) * nr *
                               static_cast<std::size_t>(kc));
   }
 
   std::size_t cache_off = 0;  ///< float offset of this jc block in `cached`
   for (int jc = 0; jc < n; jc += nc) {
     const int bn = std::min(nc, n - jc);
-    const int panels = (bn + kNR - 1) / kNR;
+    const int panels = (bn + nr - 1) / nr;
     const std::size_t block_off = cache_off;
-    cache_off += static_cast<std::size_t>(panels) * kNR *
+    cache_off += static_cast<std::size_t>(panels) * nr *
                  static_cast<std::size_t>(k);
     for (int pc = 0; pc < k; pc += kc) {
       const int bk = std::min(kc, k - pc);
@@ -712,7 +592,7 @@ void blocked_run(const float* a, const float* b, float* c, int m, int k, int n,
       if (cached != nullptr) {
         packed = cached->data() + block_off;  // dot family: bk == k
       } else {
-        pack_b_block<F == Fam::kDot>(b, k, n, pc, jc, bk, bn, pack);
+        pack_b_block<F == Fam::kDot>(b, k, n, pc, jc, bk, bn, nr, pack);
         packed = pack;
       }
       // Fused epilogue fires on the chunk that completes the contraction
@@ -766,31 +646,31 @@ void blocked_run(const float* a, const float* b, float* c, int m, int k, int n,
             }
             int q = 0;
             for (; q + 1 < panels; q += 2) {
-              // Panel pairs: 16 columns per pass, 4 independent
+              // Panel pairs: 2*NR columns per pass, four independent
               // accumulator vectors — enough ILP to hide FP-add latency.
-              const float* bp = packed + static_cast<std::size_t>(q) * bk * kNR;
-              const int j0 = jc + q * kNR;
-              const int w = std::min(2 * kNR, jc + bn - j0);
+              const float* bp = packed + static_cast<std::size_t>(q) * bk * nr;
+              const int j0 = jc + q * nr;
+              const int w = std::min(2 * nr, jc + bn - j0);
               for (int r = 0; r < rows; ++r) {
                 if (nnz[r] < 0) continue;
                 float* crow = c + (static_cast<std::size_t>(g0) + r) * n + j0;
-                axpy_row_panels<true>(vals + static_cast<std::size_t>(r) * bk,
-                                      idxs + static_cast<std::size_t>(r) * bk,
-                                      nnz[r], bp, crow, w, bk, epi,
-                                      epi ? bias[g0 + r] : 0.0f, relu);
+                kt.axpy(vals + static_cast<std::size_t>(r) * bk,
+                        idxs + static_cast<std::size_t>(r) * bk, nnz[r], bp,
+                        crow, w, bk, /*pair=*/true, epi,
+                        epi ? bias[g0 + r] : 0.0f, relu);
               }
             }
             if (q < panels) {
-              const float* bp = packed + static_cast<std::size_t>(q) * bk * kNR;
-              const int j0 = jc + q * kNR;
-              const int w = std::min(kNR, jc + bn - j0);
+              const float* bp = packed + static_cast<std::size_t>(q) * bk * nr;
+              const int j0 = jc + q * nr;
+              const int w = std::min(nr, jc + bn - j0);
               for (int r = 0; r < rows; ++r) {
                 if (nnz[r] < 0) continue;
                 float* crow = c + (static_cast<std::size_t>(g0) + r) * n + j0;
-                axpy_row_panels<false>(vals + static_cast<std::size_t>(r) * bk,
-                                       idxs + static_cast<std::size_t>(r) * bk,
-                                       nnz[r], bp, crow, w, bk, epi,
-                                       epi ? bias[g0 + r] : 0.0f, relu);
+                kt.axpy(vals + static_cast<std::size_t>(r) * bk,
+                        idxs + static_cast<std::size_t>(r) * bk, nnz[r], bp,
+                        crow, w, bk, /*pair=*/false, epi,
+                        epi ? bias[g0 + r] : 0.0f, relu);
               }
             }
             continue;
@@ -798,21 +678,16 @@ void blocked_run(const float* a, const float* b, float* c, int m, int k, int n,
           for (int q = 0; q < panels; ++q) {
             // One B micro-panel stays L1-resident across the whole MC row
             // group before moving to the next panel.
-            const float* bp = packed + static_cast<std::size_t>(q) * bk * kNR;
-            const int j0 = jc + q * kNR;
-            const int w = std::min(kNR, jc + bn - j0);
+            const float* bp = packed + static_cast<std::size_t>(q) * bk * nr;
+            const int j0 = jc + q * nr;
+            const int w = std::min(nr, jc + bn - j0);
             const float* ebias = epi ? bias : nullptr;
             for (std::int64_t i0 = g0; i0 < g1; i0 += kMR) {
               const int h = static_cast<int>(
                   std::min<std::int64_t>(kMR, g1 - i0));
-              if (h == kMR && w == kNR) {
-                dot_tile<RowMask, ColMask, true>(a, c, k, n, i0, h, j0, w, bk,
-                                                 bp, rmask, cmask, ebias, relu);
-              } else {
-                dot_tile<RowMask, ColMask, false>(a, c, k, n, i0, h, j0, w, bk,
-                                                  bp, rmask, cmask, ebias,
-                                                  relu);
-              }
+              kt.dot(a, c, k, n, i0, h, j0, w, bk, bp,
+                     RowMask ? rmask : nullptr, ColMask ? cmask : nullptr,
+                     ebias, relu);
             }
           }
         }
@@ -867,7 +742,7 @@ void gemm(const float* a, const float* b, float* c, int m, int k, int n,
   const GemmBlocking cfg = gemm_blocking();
   if (!gemm_uses_blocked(m, k, n, cfg)) {
     ref_dispatches().inc();
-    gemmref::gemm(a, b, c, m, k, n, accumulate);
+    microkernel::active_table().fb_gemm(a, b, c, m, k, n, accumulate);
     return;
   }
   blocked_dispatches().inc();
@@ -881,7 +756,7 @@ void gemm_tn(const float* at, const float* b, float* c, int m, int k, int n,
   const GemmBlocking cfg = gemm_blocking();
   if (!gemm_uses_blocked(m, k, n, cfg)) {
     ref_dispatches().inc();
-    gemmref::gemm_tn(at, b, c, m, k, n, accumulate);
+    microkernel::active_table().fb_gemm_tn(at, b, c, m, k, n, accumulate);
     return;
   }
   blocked_dispatches().inc();
@@ -895,7 +770,7 @@ void gemm_nt(const float* a, const float* bt, float* c, int m, int k, int n,
   const GemmBlocking cfg = gemm_blocking();
   if (!gemm_uses_blocked(m, k, n, cfg)) {
     ref_dispatches().inc();
-    gemmref::gemm_nt(a, bt, c, m, k, n, accumulate);
+    microkernel::active_table().fb_gemm_nt(a, bt, c, m, k, n, accumulate);
     return;
   }
   blocked_dispatches().inc();
@@ -909,7 +784,7 @@ void gemm_rows(const float* a, const float* b, float* c, int m, int k, int n,
   const GemmBlocking cfg = gemm_blocking();
   if (!gemm_uses_blocked(m, k, n, cfg)) {
     ref_dispatches().inc();
-    gemmref::gemm_rows(a, b, c, m, k, n, row_active);
+    microkernel::active_table().fb_gemm_rows(a, b, c, m, k, n, row_active);
     return;
   }
   blocked_dispatches().inc();
@@ -922,7 +797,7 @@ void gemm_nt_cols(const float* a, const float* bt, float* c, int m, int k,
   const GemmBlocking cfg = gemm_blocking();
   if (!gemm_uses_blocked(m, k, n, cfg)) {
     ref_dispatches().inc();
-    gemmref::gemm_nt_cols(a, bt, c, m, k, n, col_active);
+    microkernel::active_table().fb_gemm_nt_cols(a, bt, c, m, k, n, col_active);
     return;
   }
   blocked_dispatches().inc();
@@ -935,7 +810,7 @@ void gemm_nt_rows_acc(const float* a, const float* bt, float* c, int m, int k,
   const GemmBlocking cfg = gemm_blocking();
   if (!gemm_uses_blocked(m, k, n, cfg)) {
     ref_dispatches().inc();
-    gemmref::gemm_nt_rows_acc(a, bt, c, m, k, n, row_active);
+    microkernel::active_table().fb_gemm_nt_rows_acc(a, bt, c, m, k, n, row_active);
     return;
   }
   blocked_dispatches().inc();
@@ -948,7 +823,7 @@ void gemm_tn_rows(const float* at, const float* b, float* c, int m, int k,
   const GemmBlocking cfg = gemm_blocking();
   if (!gemm_uses_blocked(m, k, n, cfg)) {
     ref_dispatches().inc();
-    gemmref::gemm_tn_rows(at, b, c, m, k, n, k_active);
+    microkernel::active_table().fb_gemm_tn_rows(at, b, c, m, k, n, k_active);
     return;
   }
   blocked_dispatches().inc();
@@ -963,7 +838,7 @@ void gemm_nt_cols_bias(const float* a, const float* bt, float* c, int m, int k,
   const GemmBlocking cfg = gemm_blocking();
   if (!gemm_uses_blocked(m, k, n, cfg)) {
     ref_dispatches().inc();
-    gemmref::gemm_nt_cols_bias(a, bt, c, m, k, n, col_active, bias, relu);
+    microkernel::active_table().fb_gemm_nt_cols_bias(a, bt, c, m, k, n, col_active, bias, relu);
     return;
   }
   blocked_dispatches().inc();
@@ -978,7 +853,7 @@ void gemm_rows_bias(const float* a, const float* b, float* c, int m, int k,
   const GemmBlocking cfg = gemm_blocking();
   if (!gemm_uses_blocked(m, k, n, cfg)) {
     ref_dispatches().inc();
-    gemmref::gemm_rows_bias(a, b, c, m, k, n, row_active, bias, relu);
+    microkernel::active_table().fb_gemm_rows_bias(a, b, c, m, k, n, row_active, bias, relu);
     return;
   }
   blocked_dispatches().inc();

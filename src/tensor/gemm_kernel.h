@@ -11,12 +11,18 @@
 //    used for shapes too small to amortize packing and kept as the bitwise
 //    ground truth for parity tests.
 //
-// Determinism contract (the repo-wide invariant from PR 1-3): for every
-// kernel, every block-size configuration and every STEPPING_THREADS value,
-// the blocked path produces output BITWISE IDENTICAL to the reference
-// kernels. This holds by construction, because per output element C(i,j)
-// both paths apply the exact same floating-point operations in the exact
-// same order:
+// Determinism contract (the repo-wide invariant from PR 1-3, generalized
+// per ISA tier in ISSUE 6): for every kernel, every block-size
+// configuration, every STEPPING_THREADS value and every pack-cache state,
+// the blocked path's output is BITWISE STABLE within the active ISA tier
+// (tensor/gemm_isa.h). On the scalar and sse tiers that output is
+// additionally BITWISE IDENTICAL to the reference kernels; the FMA tiers
+// (avx2, avx512) fuse each multiply-add into a single rounding, so their
+// bits differ from the reference but are equally stable within the tier.
+// This holds by construction, because per output element C(i,j) all paths
+// apply the same floating-point operations in the same per-element order
+// (each element owns one accumulator lane; vector width never reorders a
+// single element's term sequence):
 //  * axpy family (gemm, gemm_tn, gemm_rows, gemm_tn_rows): the reference
 //    accumulates terms a(i,p) * b(p,j) directly into C in ascending-p
 //    order, skipping terms whose A operand is exactly zero (masked
@@ -39,7 +45,9 @@
 //
 // Persistent packed-weight cache (ISSUE 5): dot-family kernels that take a
 // `pack_id` (gemm_nt_cols_bias) can skip the pack stage entirely. The cache
-// keys fully packed B buffers on (pack_id, k, n, NC); `pack_id` values come
+// keys fully packed B buffers on (pack_id, k, n, NC, isa tier) — the tier
+// is part of the key because panel width NR varies per tier (ISSUE 6), so
+// panels packed for one tier are meaningless to another. `pack_id` values come
 // from new_pack_id() and owners (MaskedLayer) draw a fresh id whenever the
 // weight bytes change — bumping the per-Param `version` counter in
 // SGD::step/deserialization feeds that staleness check. The cached bytes are
@@ -75,9 +83,10 @@ struct GemmBlocking {
                    ///< (per-panel fixed costs outweigh the short dot chains)
 };
 
-/// Register tile of the micro-kernel (compile-time; here for tests/docs).
+/// Register-tile row count of the micro-kernel. Compile-time and identical
+/// across ISA tiers (MR never affects bits or layout). The column count NR
+/// is per-tier — query gemm_panel_width() in tensor/gemm_isa.h.
 inline constexpr int kGemmMR = 4;
-inline constexpr int kGemmNR = 8;
 
 /// Current configuration. First use parses STEPPING_GEMM_BLOCK.
 GemmBlocking gemm_blocking();
@@ -175,7 +184,8 @@ void gemm_rows_bias(const float* a, const float* b, float* c, int m, int k,
 // ---------------------------------------------------------------------------
 // Reference kernels: the pre-blocking row-parallel loops, verbatim. The
 // parity grid (tests/gemm_kernel_test.cc) and the bench_ops sweep assert
-// the blocked path against these byte for byte.
+// the blocked path against these byte for byte on the scalar/sse tiers;
+// the FMA tiers are instead asserted bitwise-stable within the tier.
 // ---------------------------------------------------------------------------
 namespace gemmref {
 

@@ -1,0 +1,50 @@
+// Scalar tier: one float per "vector", multiply then add as two separate
+// roundings (the TU is compiled with -ffp-contract=off so no FMA can be
+// fused in behind our back). This is the portable fallback and the bitwise
+// twin of the reference kernels — and of the sse tier, which performs the
+// identical per-element operation sequence four lanes at a time.
+//
+// NR stays 8 so the packed-panel layout matches the sse tier exactly; the
+// two tiers differ only in how many lanes one instruction covers, which is
+// invisible to both bits and panel bytes.
+#include "tensor/gemm_microkernel.h"
+#include "tensor/gemm_microkernel_impl.h"
+
+namespace stepping::microkernel {
+
+namespace {
+
+struct V1 {
+  static constexpr int kLanes = 1;
+  using Vec = float;
+  static Vec zero() { return 0.0f; }
+  static Vec load(const float* p) { return *p; }
+  static Vec splat(float x) { return x; }
+  static Vec fmadd(Vec acc, Vec a, Vec b) { return acc + a * b; }
+  static void store(float* p, Vec v) { *p = v; }
+};
+
+constexpr int kNr = 8;
+
+// Fallbacks alias gemmref: the reference kernels ARE the two-rounding
+// fallback instantiation, kept under their own name for tests.
+const KernelTable kTable = {IsaTier::kScalar,
+                            "scalar",
+                            kNr,
+                            &detail::axpy_entry<V1, kNr>,
+                            &detail::dot_entry<V1, kNr>,
+                            &gemmref::gemm,
+                            &gemmref::gemm_tn,
+                            &gemmref::gemm_nt,
+                            &gemmref::gemm_rows,
+                            &gemmref::gemm_nt_cols,
+                            &gemmref::gemm_nt_rows_acc,
+                            &gemmref::gemm_tn_rows,
+                            &gemmref::gemm_nt_cols_bias,
+                            &gemmref::gemm_rows_bias};
+
+}  // namespace
+
+const KernelTable* table_scalar() { return &kTable; }
+
+}  // namespace stepping::microkernel

@@ -1,0 +1,59 @@
+// SSE tier: explicit 4-lane vectors (GCC/Clang vector extension, SSE2
+// baseline). Lane-wise += and * are the exact scalar operations on each
+// element in the same per-element order, so vectorizing this way cannot
+// perturb bits — this tier reproduces both the scalar tier and the
+// pre-dispatch 4-lane kernels bit for bit. The explicit form exists
+// because GCC 12's auto-vectorizer turns the scalar version of these loops
+// into an interleaved gather across contraction steps (~7x slower) while
+// still being bit-exact.
+//
+// Compiled with -ffp-contract=off: on x86-64 that is a no-op (no FMA at
+// the SSE2 baseline), but it pins the two-rounding multiply-add on targets
+// whose baseline does carry fused ops.
+#include "tensor/gemm_microkernel.h"
+#include "tensor/gemm_microkernel_impl.h"
+
+namespace stepping::microkernel {
+
+namespace {
+
+typedef float v4f __attribute__((vector_size(16)));
+
+struct V4 {
+  static constexpr int kLanes = 4;
+  using Vec = v4f;
+  static Vec zero() { return v4f{}; }
+  static Vec load(const float* p) {
+    v4f v;
+    __builtin_memcpy(&v, p, sizeof v);
+    return v;
+  }
+  static Vec splat(float x) { return v4f{x, x, x, x}; }
+  static Vec fmadd(Vec acc, Vec a, Vec b) { return acc + a * b; }
+  static void store(float* p, Vec v) { __builtin_memcpy(p, &v, sizeof v); }
+};
+
+constexpr int kNr = 8;
+
+// Fallbacks alias gemmref: small shapes ran the reference loops before the
+// dispatch layer existed, and this tier preserves that bit for bit.
+const KernelTable kTable = {IsaTier::kSse,
+                            "sse",
+                            kNr,
+                            &detail::axpy_entry<V4, kNr>,
+                            &detail::dot_entry<V4, kNr>,
+                            &gemmref::gemm,
+                            &gemmref::gemm_tn,
+                            &gemmref::gemm_nt,
+                            &gemmref::gemm_rows,
+                            &gemmref::gemm_nt_cols,
+                            &gemmref::gemm_nt_rows_acc,
+                            &gemmref::gemm_tn_rows,
+                            &gemmref::gemm_nt_cols_bias,
+                            &gemmref::gemm_rows_bias};
+
+}  // namespace
+
+const KernelTable* table_sse() { return &kTable; }
+
+}  // namespace stepping::microkernel

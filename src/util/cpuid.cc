@@ -1,0 +1,44 @@
+#include "util/cpuid.h"
+
+namespace stepping {
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  f.sse2 = __builtin_cpu_supports("sse2");
+  f.avx = __builtin_cpu_supports("avx");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = probe();
+  return f;
+}
+
+std::string cpu_features_string() {
+  const CpuFeatures& f = cpu_features();
+  std::string out;
+  const auto add = [&out](bool on, const char* name) {
+    if (!on) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  add(f.sse2, "sse2");
+  add(f.avx, "avx");
+  add(f.fma, "fma");
+  add(f.avx2, "avx2");
+  add(f.avx512f, "avx512f");
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace stepping

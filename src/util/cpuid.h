@@ -1,0 +1,31 @@
+// Host CPU SIMD capability probe (ISSUE 6).
+//
+// One cpuid pass at first use feeds the runtime ISA dispatch of the GEMM
+// micro-kernel family (tensor/gemm_isa.h): the startup tier selection picks
+// the widest micro-kernel build the host can actually execute. The probe
+// uses __builtin_cpu_supports, which also checks OS xsave state for the AVX
+// families, so a flag here means the instructions are safe to run, not just
+// architecturally present. On non-x86 targets every flag is false and the
+// dispatcher falls back to the scalar tier.
+#pragma once
+
+#include <string>
+
+namespace stepping {
+
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx = false;
+  bool fma = false;
+  bool avx2 = false;
+  bool avx512f = false;
+};
+
+/// Probed once, cached for the process lifetime.
+const CpuFeatures& cpu_features();
+
+/// Space-separated flag names for logs / CI debugging ("sse2 avx fma avx2
+/// avx512f"); "none" when nothing is detected (non-x86 builds).
+std::string cpu_features_string();
+
+}  // namespace stepping

@@ -108,6 +108,62 @@ TEST(ObsHistogram, ConcurrentObserveLosesNothing) {
   EXPECT_EQ(bucket_total, h.count());
 }
 
+TEST(ObsHistogram, WindowedQuantilesTrackCurrentLoadAcrossPhases) {
+  // Phase 1: fast service (~1 ms). Phase 2: slow service (~100 ms). The
+  // cumulative quantile is dominated by phase 1's 10x sample count, but a
+  // window based on a snapshot taken between the phases must report phase
+  // 2's latency only.
+  Histogram h;
+  for (int i = 0; i < 10000; ++i) h.observe(1.0);
+  const Histogram::Snapshot between = h.snapshot();
+  for (int i = 0; i < 1000; ++i) h.observe(100.0);
+
+  EXPECT_NEAR(h.quantile(0.50), 1.0, 1.0 * 0.25);  // lifetime: still fast
+  EXPECT_EQ(h.count_since(between), 1000u);
+  EXPECT_DOUBLE_EQ(h.sum_since(between), 100.0 * 1000);
+  EXPECT_NEAR(h.quantile_since(between, 0.50), 100.0, 100.0 * 0.25);
+  EXPECT_NEAR(h.quantile_since(between, 0.99), 100.0, 100.0 * 0.25);
+
+  // The zero baseline reproduces the cumulative view; an empty window
+  // (snapshot taken after the last observation) reports zeros.
+  EXPECT_DOUBLE_EQ(h.quantile_since(Histogram::Snapshot{}, 0.50),
+                   h.quantile(0.50));
+  const Histogram::Snapshot now = h.snapshot();
+  EXPECT_EQ(h.count_since(now), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile_since(now, 0.95), 0.0);
+}
+
+TEST(ObsRegistry, WindowedJsonAdvancesPerCall) {
+  Registry r;
+  r.counter("req_total").inc(5);
+  Histogram& h = r.histogram("lat_ms");
+  Registry::Window w;
+
+  for (int i = 0; i < 100; ++i) h.observe(1.0);
+  const std::string j1 = r.to_json_windowed(w);
+  // First call with a fresh window == since process start.
+  EXPECT_NE(j1.find("\"lat_ms\":{\"count\":100"), std::string::npos);
+  EXPECT_NE(j1.find("\"count_total\":100"), std::string::npos);
+  EXPECT_NE(j1.find("\"req_total\":5"), std::string::npos);  // cumulative
+
+  for (int i = 0; i < 50; ++i) h.observe(100.0);
+  const std::string j2 = r.to_json_windowed(w);
+  // Second call sees only the 50 slow observations; the windowed p50
+  // reflects the new load level, not the lifetime mix.
+  EXPECT_NE(j2.find("\"lat_ms\":{\"count\":50"), std::string::npos);
+  EXPECT_NE(j2.find("\"count_total\":150"), std::string::npos);
+  const std::size_t p50_pos = j2.find("\"p50\":");
+  ASSERT_NE(p50_pos, std::string::npos);
+  const double p50 = std::stod(j2.substr(p50_pos + 6));
+  EXPECT_NEAR(p50, 100.0, 100.0 * 0.25);
+
+  // A drained window reports an empty histogram but keeps the totals.
+  const std::string j3 = r.to_json_windowed(w);
+  EXPECT_NE(j3.find("\"lat_ms\":{\"count\":0,\"sum\":0,\"p50\":0"),
+            std::string::npos);
+  EXPECT_NE(j3.find("\"count_total\":150"), std::string::npos);
+}
+
 TEST(ObsRegistry, SameNameReturnsSameHandle) {
   Registry r;
   Counter& a = r.counter("x_total");

@@ -295,7 +295,10 @@ int cmd_serve(const CliArgs& args) {
   std::fflush(stdout);
 
   // Optional periodic metrics dump. The dumper sleeps on a condition
-  // variable so shutdown never waits out a full period.
+  // variable so shutdown never waits out a full period. Histogram stats in
+  // each dump are windowed to the period just elapsed (current-load
+  // p50/p95/p99, not lifetime aggregates); the final dump after shutdown
+  // stays cumulative.
   const long dump_sec = args.get_int("metrics-dump-sec", 0);
   std::mutex dump_mu;
   std::condition_variable dump_cv;
@@ -303,13 +306,15 @@ int cmd_serve(const CliArgs& args) {
   std::thread dumper;
   if (dump_sec > 0) {
     dumper = std::thread([&] {
+      obs::Registry::Window window;
       std::unique_lock<std::mutex> lock(dump_mu);
       for (;;) {
         if (dump_cv.wait_for(lock, std::chrono::seconds(dump_sec),
                              [&] { return dump_stop; })) {
           return;
         }
-        std::printf("metrics %s\n", server.metrics_json().c_str());
+        std::printf("metrics %s\n",
+                    server.metrics_json_windowed(window).c_str());
         std::fflush(stdout);
       }
     });
