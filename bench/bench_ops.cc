@@ -26,8 +26,10 @@
 #include "core/macs.h"
 #include "models/models.h"
 #include "nn/conv2d.h"
+#include "quant/quantize.h"
 #include "tensor/gemm_isa.h"
 #include "tensor/gemm_kernel.h"
+#include "tensor/i8gemm.h"
 #include "tensor/ops.h"
 #include "util/thread_pool.h"
 
@@ -420,6 +422,142 @@ void run_packcache_sweep() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Int8 GEMM sweep (ISSUE 7 acceptance: the int8 path beats the fp32 blocked
+// path on the paper deep-k shapes; every provider's i32 accumulators are
+// bit-identical to the scalar reference).
+//
+// The timed int8 path is the per-call work a serving forward actually pays
+// with a warm pack cache: quantize activations + u8 x i8 GEMM + fp32 dequant.
+// Weight quantization/packing is one-time (cached per pack_id) and excluded,
+// matching the fp32 side's packed-panel caching.
+// ---------------------------------------------------------------------------
+
+struct I8Row {
+  int m, k, n;
+  double fp32_ns, int8_ns, speedup, int8_gops;
+  bool parity;
+};
+
+I8Row i8_shape(int m, int k, int n, int reps) {
+  Rng rng(44);
+  // Generate Wt (n x k, the Dense/Conv2d layout) and derive the fp32 GEMM's
+  // B = Wt^T so both paths compute the same m x k x n contraction.
+  Tensor a({m, k}), wt({n, k}), b({k, n}), c_fp({m, n});
+  fill_normal(a, 0.0f, 1.0f, rng);
+  fill_normal(wt, 0.0f, 1.0f, rng);
+  // Post-ReLU-like activations (the int8 layers' serving case): non-negative,
+  // with the same ~20% exact zeros as the fp32 sweep.
+  float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] = pa[i] < 0 ? -pa[i] : pa[i];
+  for (std::int64_t i = 0; i < a.numel(); i += 5) pa[i] = 0.0f;
+  const float* pw = wt.data();
+  float* pb = b.data();
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < n; ++j) pb[i * n + j] = pw[j * k + i];
+  }
+
+  const double fp_s = median_seconds(reps, [&] { gemm(a, b, c_fp); });
+
+  quant::WeightQuant wq;
+  quant::quantize_weights_per_channel(wt.data(), n, k, &wq);
+  float absmax = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) absmax = std::max(absmax, pa[i]);
+  const quant::ActQuant aq = quant::activation_params(absmax, /*nonneg=*/true);
+  const int k4 = i8gemm_k4(k);
+
+  const I8GemmKernel& kern = i8gemm_kernel();
+  const I8GemmKernel& ref = i8gemm_ref_kernel();
+  std::vector<std::int8_t> packed(i8gemm_packed_bytes(k, n, kern.nr));
+  std::vector<std::int8_t> packed_ref(i8gemm_packed_bytes(k, n, ref.nr));
+  i8gemm_pack(wq.q.data(), k, n, kern.nr, packed.data());
+  i8gemm_pack(wq.q.data(), k, n, ref.nr, packed_ref.data());
+
+  std::vector<std::uint8_t> a8(static_cast<std::size_t>(m) * k4);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(m) * n);
+  std::vector<std::int32_t> acc_ref(static_cast<std::size_t>(m) * n);
+  quant::quantize_activations(a.data(), m, k, k4, aq, a8.data());
+  i8gemm_run(kern, a8.data(), m, k, packed.data(), n, nullptr, acc.data());
+  i8gemm_run(ref, a8.data(), m, k, packed_ref.data(), n, nullptr,
+             acc_ref.data());
+  const bool parity =
+      std::memcmp(acc.data(), acc_ref.data(),
+                  sizeof(std::int32_t) * acc.size()) == 0;
+
+  std::vector<float> bias(static_cast<std::size_t>(n), 0.0f);
+  std::vector<unsigned char> active(static_cast<std::size_t>(n), 1);
+  Tensor y({m, n});
+  const double i8_s = median_seconds(reps, [&] {
+    quant::quantize_activations(a.data(), m, k, k4, aq, a8.data());
+    i8gemm_run(kern, a8.data(), m, k, packed.data(), n, nullptr, acc.data());
+    quant::dequantize_bias(acc.data(), m, n, aq, wq, active.data(),
+                           bias.data(), /*relu=*/false, y.data());
+  });
+
+  I8Row row;
+  row.m = m;
+  row.k = k;
+  row.n = n;
+  row.fp32_ns = fp_s * 1e9;
+  row.int8_ns = i8_s * 1e9;
+  row.speedup = fp_s / i8_s;
+  row.int8_gops = 2.0 * m * k * n / i8_s * 1e-9;
+  row.parity = parity;
+  return row;
+}
+
+void run_i8_sweep() {
+  const struct { int m, k, n; } shapes[] = {
+      {128, 400, 1024},  // lenet3c1l dense head, batch 128
+      {64, 27, 1024},    // conv1 3x3x3 -> 64 units over 32x32 output
+      {128, 576, 256},   // mid conv, 64ch 3x3 patch
+      {256, 1152, 64},   // late conv, 128ch 3x3 patch (deep-k serving shape)
+      {10, 512, 128},    // classifier tail
+      {65, 129, 33},     // odd non-multiple-of-panel shape
+  };
+  int reps = 7;
+  if (const char* e = std::getenv("STEPPING_BENCH_REPS")) {
+    reps = std::max(1, std::atoi(e));
+  }
+  const I8GemmKernel& kern = i8gemm_kernel();
+  // CI's isa-matrix job greps this line (provider must match the tier pin).
+  std::printf("i8 sweep isa=%s provider=%s (reps=%d)\n",
+              isa_tier_name(isa_tier()), kern.name, reps);
+  std::vector<I8Row> rows;
+  bool all_parity = true;
+  for (const auto& s : shapes) {
+    const I8Row row = i8_shape(s.m, s.k, s.n, reps);
+    rows.push_back(row);
+    all_parity = all_parity && row.parity;
+    std::printf(
+        "i8 m=%d k=%d n=%d fp32=%.0fns int8=%.0fns speedup=%.2fx gops=%.2f "
+        "%s\n",
+        row.m, row.k, row.n, row.fp32_ns, row.int8_ns, row.speedup,
+        row.int8_gops, row.parity ? "acc=ok" : "acc=MISMATCH");
+  }
+  // CI greps this exact line: scalar vs active provider accumulator parity.
+  std::printf("i8 parity=%s\n", all_parity ? "ok" : "MISMATCH");
+
+  if (std::FILE* f = std::fopen("BENCH_int8.json", "w")) {
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const I8Row& r = rows[i];
+      std::fprintf(f,
+                   "  {\"isa\": \"%s\", \"provider\": \"%s\", \"m\": %d, "
+                   "\"k\": %d, \"n\": %d, \"fp32_ns\": %.1f, "
+                   "\"int8_ns\": %.1f, \"speedup\": %.3f, "
+                   "\"int8_gops\": %.3f, \"parity\": %s}%s\n",
+                   isa_tier_name(isa_tier()), kern.name, r.m, r.k, r.n,
+                   r.fp32_ns, r.int8_ns, r.speedup, r.int8_gops,
+                   r.parity ? "true" : "false",
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_int8.json (%zu rows)\n", rows.size());
+  }
+}
+
 }  // namespace
 }  // namespace stepping
 
@@ -428,6 +566,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   stepping::run_gemm_sweep();
   stepping::run_packcache_sweep();
+  stepping::run_i8_sweep();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "quant/calibration.h"
+#include "quant/prepared.h"
 #include "tensor/gemm_kernel.h"
 #include "util/arena.h"
 
@@ -61,6 +63,21 @@ Tensor Conv2d::forward_impl(const Tensor& x, const SubnetContext& ctx,
   const Tensor& w = effective_weights();
   const auto& active = active_flags(ctx.subnet_id);
 
+  if (ctx.calib_record != nullptr && !ctx.training) {
+    // im2col only replicates/zero-pads input values, and 0 quantizes exactly
+    // to the zero point, so calibrating on x covers the column matrix too.
+    ctx.calib_record->record(name_, ctx.subnet_id, x.data(),
+                             static_cast<std::size_t>(x.numel()));
+  }
+
+  // Int8 rung (ISSUE 7): see Dense::forward_impl. Resolved once per batch;
+  // non-null => every image below runs the u8 x i8 provider.
+  const quant::CalibEntry* calib = nullptr;
+  if (ctx.precision == quant::Precision::kInt8 && !ctx.training && !is_head_ &&
+      ctx.calibration != nullptr) {
+    calib = ctx.calibration->find(name_, ctx.subnet_id);
+  }
+
   Tensor y({n, units_, oh, ow});  // zero-filled; inactive units stay zero
   // Workspaces come from the per-thread arena: reused across calls (zero
   // heap allocations once warmed up — asserted by the conv arena test).
@@ -70,6 +87,18 @@ Tensor Conv2d::forward_impl(const Tensor& x, const SubnetContext& ctx,
   const std::int64_t in_img = static_cast<std::int64_t>(geom_.in_c) * geom_.in_h *
                               geom_.in_w;
   const std::int64_t out_img = static_cast<std::int64_t>(units_) * spatial;
+  if (calib != nullptr) {
+    const quant::PreparedInt8 pw = quant::prepare_int8_weights(
+        pack_id(), w.data(), units_, static_cast<int>(patch));
+    const quant::ActQuant aq = ctx.calibration->params(*calib);
+    for (int i = 0; i < n; ++i) {
+      im2col(x.data() + i * in_img, geom_, cols);
+      quant::int8_conv_forward(cols, spatial, pw, aq, active.data(),
+                               bias_.value.data(), relu,
+                               y.data() + i * out_img);
+    }
+    return y;
+  }
   for (int i = 0; i < n; ++i) {
     im2col(x.data() + i * in_img, geom_, cols);
     // y_i (U x S) = w (U x P) * cols (P x S) + bias, active rows only, with

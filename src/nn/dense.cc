@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "quant/calibration.h"
+#include "quant/prepared.h"
 #include "tensor/ops.h"
 
 namespace stepping {
@@ -44,7 +46,29 @@ Tensor Dense::forward_impl(const Tensor& x, const SubnetContext& ctx,
   const Tensor& w = effective_weights();
   const auto& active = active_flags(ctx.subnet_id);
 
+  if (ctx.calib_record != nullptr && !ctx.training) {
+    ctx.calib_record->record(name_, ctx.subnet_id, x.data(),
+                             static_cast<std::size_t>(x.numel()));
+  }
+
   Tensor y({n, units_});  // zero-filled; inactive units stay zero
+
+  // Int8 rung (ISSUE 7): body layers with a calibrated input range run the
+  // u8 x i8 providers; heads stay fp32 (logits feed confidence gates), as
+  // does any (layer, level) pair calibration never saw.
+  if (ctx.precision == quant::Precision::kInt8 && !ctx.training && !is_head_ &&
+      ctx.calibration != nullptr) {
+    if (const quant::CalibEntry* e =
+            ctx.calibration->find(name_, ctx.subnet_id)) {
+      const quant::PreparedInt8 pw =
+          quant::prepare_int8_weights(pack_id(), w.data(), units_, cols_);
+      quant::int8_dense_forward(x.data(), n, pw, ctx.calibration->params(*e),
+                                active.data(), bias_.value.data(), relu,
+                                y.data());
+      return y;
+    }
+  }
+
   // y (N x U) = x (N x F) * w^T, bias (and optionally ReLU) fused into the
   // micro-kernel store. Training passes pack_id 0: weights change every step,
   // so caching their packed panels would only thrash the cache.

@@ -16,10 +16,15 @@
 #include <string>
 #include <vector>
 
+#include "quant/policy.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
 namespace stepping {
+
+namespace quant {
+class CalibrationTable;
+}  // namespace quant
 
 class Param;
 
@@ -38,6 +43,17 @@ struct SubnetContext {
   bool training = false;
   /// Accumulate |dL/dr_j| importance gradients (paper Eq. 2) during backward.
   bool harvest_importance = false;
+  /// Numeric precision of this forward (ISSUE 7). Layers run int8 only for
+  /// kInt8 at inference with a calibrated entry in `calibration`; anything
+  /// else (including kAuto, which only the serve planner interprets) is the
+  /// bitwise-deterministic fp32 path.
+  quant::Precision precision = quant::Precision::kFp32;
+  /// Activation scales for the int8 path, keyed (layer name, subnet level).
+  /// Null => every layer falls back to fp32.
+  const quant::CalibrationTable* calibration = nullptr;
+  /// When non-null, this (fp32) forward is a calibration pass: quantizable
+  /// layers record their input ranges here and still compute in fp32.
+  quant::CalibrationTable* calib_record = nullptr;
 };
 
 /// Shape + subnet metadata flowing through Network::wire().

@@ -1,7 +1,12 @@
 #include "nn/network.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
+
+#include "obs/trace.h"
+#include "quant/calibration.h"
 
 namespace stepping {
 
@@ -137,6 +142,34 @@ void Network::activate_lr_scale(int k) {
 
 void Network::clear_prune_masks() {
   for (MaskedLayer* m : masked_layers()) m->clear_prune_mask();
+}
+
+std::shared_ptr<quant::CalibrationTable> calibrate_int8(Network& net,
+                                                        const Tensor& inputs,
+                                                        int batch,
+                                                        int max_level) {
+  assert(net.wired());
+  assert(inputs.rank() == 4);
+  STEPPING_TRACE_SCOPE_CAT("serve", "quant.calibrate");
+  auto table = std::make_shared<quant::CalibrationTable>();
+  const int n = inputs.dim(0);
+  const int c = inputs.dim(1), h = inputs.dim(2), w = inputs.dim(3);
+  const std::int64_t img = static_cast<std::int64_t>(c) * h * w;
+  if (batch <= 0) batch = 1;
+  for (int level = 1; level <= max_level; ++level) {
+    SubnetContext ctx;
+    ctx.subnet_id = level;
+    ctx.num_subnets = max_level;
+    ctx.calib_record = table.get();
+    for (int i0 = 0; i0 < n; i0 += batch) {
+      const int bn = std::min(batch, n - i0);
+      Tensor xb({bn, c, h, w});
+      std::memcpy(xb.data(), inputs.data() + i0 * img,
+                  sizeof(float) * static_cast<std::size_t>(bn) * img);
+      net.forward(xb, ctx);
+    }
+  }
+  return table;
 }
 
 }  // namespace stepping

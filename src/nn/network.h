@@ -85,4 +85,14 @@ class Network {
   int in_c_ = 0, in_h_ = 0, in_w_ = 0;
 };
 
+/// Calibrate activation ranges for int8 inference (ISSUE 7): run `inputs`
+/// (rank-4, N x C x H x W) through the fp32 forward of every subnet level in
+/// [1, max_level], in batches of `batch` images, recording each quantizable
+/// layer's input range per (layer, level) into the returned table. The
+/// forwards are ordinary fp32 passes — network outputs are unchanged.
+std::shared_ptr<quant::CalibrationTable> calibrate_int8(Network& net,
+                                                        const Tensor& inputs,
+                                                        int batch,
+                                                        int max_level);
+
 }  // namespace stepping

@@ -55,10 +55,15 @@ BatchStats distill_batch(Network& net, Sgd& sgd, const Tensor& x,
 
 int eval_batch(Network& net, const Tensor& x, const std::vector<int>& labels,
                int subnet_id) {
-  STEPPING_TRACE_SCOPE_CAT("train", "eval.batch");
   SubnetContext ctx;
   ctx.subnet_id = subnet_id;
   ctx.training = false;
+  return eval_batch(net, x, labels, ctx);
+}
+
+int eval_batch(Network& net, const Tensor& x, const std::vector<int>& labels,
+               const SubnetContext& ctx) {
+  STEPPING_TRACE_SCOPE_CAT("train", "eval.batch");
   const Tensor logits = net.forward(x, ctx);
   const int n = logits.dim(0), c = logits.dim(1);
   // Per-sample argmax scoring; chunks accumulate a local count and merge it

@@ -34,6 +34,11 @@ BatchStats distill_batch(Network& net, Sgd& sgd, const Tensor& x,
 int eval_batch(Network& net, const Tensor& x, const std::vector<int>& labels,
                int subnet_id);
 
+/// Same with a caller-built context (e.g. an int8 precision policy and
+/// calibration table — ISSUE 7). ctx.training should be false.
+int eval_batch(Network& net, const Tensor& x, const std::vector<int>& labels,
+               const SubnetContext& ctx);
+
 /// Softmax probabilities for a batch (inference mode), e.g. teacher targets.
 Tensor predict_probs(Network& net, const Tensor& x, int subnet_id);
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "util/env.h"
@@ -55,6 +56,12 @@ struct Registry {
   std::size_t capacity = 0;  ///< for buffers created from now on
   std::chrono::steady_clock::time_point epoch;
   bool exit_flush_registered = false;
+  /// Periodic flusher (STEPPING_TRACE_FLUSH_SEC). Managed under its own
+  /// mutex so trace_stop() can join WITHOUT holding `mu` — the flusher
+  /// takes `mu` inside trace_flush(), so joining under `mu` would deadlock.
+  std::mutex flusher_mu;
+  std::thread flusher;
+  std::atomic<bool> flusher_stop{false};
 };
 
 Registry& registry() {
@@ -108,6 +115,125 @@ void write_escaped(std::FILE* f, const char* s) {
       std::fputc(c, f);
     }
   }
+}
+
+/// Write every buffer to r.path (caller holds r.mu). `reset` zeroes the
+/// buffers afterwards (trace_stop); the periodic flusher passes false so
+/// the file is always the complete trace so far.
+TraceStats flush_locked(Registry& r, bool reset) {
+  TraceStats stats;
+  if (r.path.empty()) return stats;
+
+  std::size_t total = 0;
+  for (const auto& buf : r.buffers) {
+    total += buf->count.load(std::memory_order_acquire);
+  }
+  if (total == 0) return stats;  // nothing recorded since the last reset
+
+  std::FILE* f = std::fopen(r.path.c_str(), "w");
+  if (f == nullptr) {
+    LOG_ERROR << "trace: cannot open " << r.path << " for writing";
+    return stats;
+  }
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+  bool first = true;
+  auto comma = [&] {
+    if (!first) std::fputc(',', f);
+    first = false;
+  };
+  for (const auto& buf : r.buffers) {
+    if (!buf->name.empty()) {
+      comma();
+      std::fprintf(f,
+                   "\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,"
+                   "\"tid\":%u,\"args\":{\"name\":\"",
+                   buf->tid);
+      write_escaped(f, buf->name.c_str());
+      std::fputs("\"}}", f);
+    }
+    const std::size_t n = buf->count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Event& e = buf->slots[i];
+      comma();
+      if (e.cat == kCounterCat) {
+        std::fputs("\n{\"ph\":\"C\",\"name\":\"", f);
+        write_escaped(f, e.name);
+        std::fprintf(f,
+                     "\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                     "\"args\":{\"value\":%lld}}",
+                     buf->tid, static_cast<double>(e.start_ns) / 1000.0,
+                     static_cast<long long>(e.dur_ns));
+      } else {
+        std::fputs("\n{\"ph\":\"X\",\"name\":\"", f);
+        write_escaped(f, e.name);
+        std::fputs("\",\"cat\":\"", f);
+        write_escaped(f, e.cat);
+        std::fprintf(f, "\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                     buf->tid, static_cast<double>(e.start_ns) / 1000.0,
+                     static_cast<double>(e.dur_ns) / 1000.0);
+        if (e.nargs > 0) {
+          std::fputs(",\"args\":{", f);
+          for (int ai = 0; ai < e.nargs; ++ai) {
+            if (ai != 0) std::fputc(',', f);
+            std::fputc('"', f);
+            write_escaped(f, e.akey[ai]);
+            std::fprintf(f, "\":%lld", static_cast<long long>(e.aval[ai]));
+          }
+          std::fputc('}', f);
+        }
+        std::fputc('}', f);
+      }
+    }
+    stats.events += n;
+    stats.dropped += buf->dropped.load(std::memory_order_relaxed);
+    if (reset) {
+      buf->count.store(0, std::memory_order_relaxed);
+      buf->dropped.store(0, std::memory_order_relaxed);
+    }
+  }
+  std::fputs("\n]}\n", f);
+  std::fclose(f);
+  return stats;
+}
+
+void flusher_main(double period_sec) {
+  Registry& r = registry();
+  const auto period = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(period_sec));
+  auto next = std::chrono::steady_clock::now() + period;
+  // Sleep in short slices so trace_stop() joins promptly.
+  while (!r.flusher_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (std::chrono::steady_clock::now() >= next) {
+      trace_flush();
+      next = std::chrono::steady_clock::now() + period;
+    }
+  }
+}
+
+/// Start the periodic flusher when STEPPING_TRACE_FLUSH_SEC > 0 and none is
+/// running. Must NOT be called under r.mu (spawns a thread that takes it).
+void maybe_start_flusher() {
+  const double period = env_or_double("STEPPING_TRACE_FLUSH_SEC", 0.0);
+  if (period <= 0.0) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.flusher_mu);
+  if (r.flusher.joinable()) return;
+  r.flusher_stop.store(false, std::memory_order_relaxed);
+  r.flusher = std::thread(flusher_main, period);
+}
+
+/// Stop and join the periodic flusher. Must NOT be called under r.mu.
+void stop_flusher() {
+  Registry& r = registry();
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lock(r.flusher_mu);
+    r.flusher_stop.store(true, std::memory_order_relaxed);
+    t.swap(r.flusher);
+  }
+  if (t.joinable()) t.join();
 }
 
 void exit_flush() { trace_stop(); }
@@ -169,98 +295,49 @@ void record_counter(const char* name, std::int64_t value) {
 
 void trace_start(const std::string& path, std::size_t buffer_events) {
   Registry& r = registry();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.path = path;
+    if (buffer_events > 0) r.capacity = buffer_events;
+    if (!detail::g_trace_on.load(std::memory_order_relaxed)) {
+      r.epoch = std::chrono::steady_clock::now();
+    }
+    if (!r.exit_flush_registered) {
+      std::atexit(exit_flush);
+      r.exit_flush_registered = true;
+    }
+    detail::g_trace_on.store(true, std::memory_order_relaxed);
+  }
+  // Outside r.mu: the flusher thread takes r.mu on every period.
+  maybe_start_flusher();
+}
+
+TraceStats trace_flush() {
+  Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
-  r.path = path;
-  if (buffer_events > 0) r.capacity = buffer_events;
-  if (!detail::g_trace_on.load(std::memory_order_relaxed)) {
-    r.epoch = std::chrono::steady_clock::now();
+  if (!detail::g_trace_on.load(std::memory_order_relaxed)) return {};
+  const TraceStats stats = flush_locked(r, /*reset=*/false);
+  if (stats.events != 0) {
+    LOG_DEBUG << "trace: periodic flush of " << stats.events << " events to "
+              << r.path;
   }
-  if (!r.exit_flush_registered) {
-    std::atexit(exit_flush);
-    r.exit_flush_registered = true;
-  }
-  detail::g_trace_on.store(true, std::memory_order_relaxed);
+  return stats;
 }
 
 TraceStats trace_stop() {
+  // Join the periodic flusher BEFORE taking r.mu (it takes r.mu to flush).
+  stop_flusher();
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   detail::g_trace_on.store(false, std::memory_order_relaxed);
-  TraceStats stats;
-  if (r.path.empty()) return stats;
-
-  std::size_t total = 0;
-  for (const auto& buf : r.buffers) {
-    total += buf->count.load(std::memory_order_acquire);
+  const TraceStats stats = flush_locked(r, /*reset=*/true);
+  if (stats.events != 0) {
+    LOG_INFO << "trace: wrote " << stats.events << " events to " << r.path
+             << (stats.dropped != 0
+                     ? " (" + std::to_string(stats.dropped) +
+                           " dropped; raise STEPPING_TRACE_BUF)"
+                     : "");
   }
-  if (total == 0) return stats;  // nothing recorded since the last flush
-
-  std::FILE* f = std::fopen(r.path.c_str(), "w");
-  if (f == nullptr) {
-    LOG_ERROR << "trace: cannot open " << r.path << " for writing";
-    return stats;
-  }
-  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
-  bool first = true;
-  auto comma = [&] {
-    if (!first) std::fputc(',', f);
-    first = false;
-  };
-  for (const auto& buf : r.buffers) {
-    if (!buf->name.empty()) {
-      comma();
-      std::fprintf(f,
-                   "\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,"
-                   "\"tid\":%u,\"args\":{\"name\":\"",
-                   buf->tid);
-      write_escaped(f, buf->name.c_str());
-      std::fputs("\"}}", f);
-    }
-    const std::size_t n = buf->count.load(std::memory_order_acquire);
-    for (std::size_t i = 0; i < n; ++i) {
-      const Event& e = buf->slots[i];
-      comma();
-      if (e.cat == kCounterCat) {
-        std::fputs("\n{\"ph\":\"C\",\"name\":\"", f);
-        write_escaped(f, e.name);
-        std::fprintf(f,
-                     "\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
-                     "\"args\":{\"value\":%lld}}",
-                     buf->tid, static_cast<double>(e.start_ns) / 1000.0,
-                     static_cast<long long>(e.dur_ns));
-      } else {
-        std::fputs("\n{\"ph\":\"X\",\"name\":\"", f);
-        write_escaped(f, e.name);
-        std::fputs("\",\"cat\":\"", f);
-        write_escaped(f, e.cat);
-        std::fprintf(f, "\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
-                     buf->tid, static_cast<double>(e.start_ns) / 1000.0,
-                     static_cast<double>(e.dur_ns) / 1000.0);
-        if (e.nargs > 0) {
-          std::fputs(",\"args\":{", f);
-          for (int ai = 0; ai < e.nargs; ++ai) {
-            if (ai != 0) std::fputc(',', f);
-            std::fputc('"', f);
-            write_escaped(f, e.akey[ai]);
-            std::fprintf(f, "\":%lld", static_cast<long long>(e.aval[ai]));
-          }
-          std::fputc('}', f);
-        }
-        std::fputc('}', f);
-      }
-    }
-    stats.events += n;
-    stats.dropped += buf->dropped.load(std::memory_order_relaxed);
-    buf->count.store(0, std::memory_order_relaxed);
-    buf->dropped.store(0, std::memory_order_relaxed);
-  }
-  std::fputs("\n]}\n", f);
-  std::fclose(f);
-  LOG_INFO << "trace: wrote " << stats.events << " events to " << r.path
-           << (stats.dropped != 0
-                   ? " (" + std::to_string(stats.dropped) +
-                         " dropped; raise STEPPING_TRACE_BUF)"
-                   : "");
   return stats;
 }
 

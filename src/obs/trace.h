@@ -5,6 +5,12 @@
 //     start and flushes the trace to <path> at normal process exit;
 //   * trace_start(path) / trace_stop() give programmatic control (tests,
 //     benchmarks). trace_stop() flushes and returns event statistics.
+//   * STEPPING_TRACE_FLUSH_SEC=<seconds> (may be fractional) additionally
+//     starts a background flusher thread that rewrites <path> every period
+//     while tracing stays armed — long-running processes (serve) get an
+//     inspectable, always-valid JSON trace without waiting for exit.
+//     Periodic flushes do not reset the buffers; the file is rewritten
+//     whole each time, so it is complete up to the moment of the flush.
 //
 // Recording:
 //   * STEPPING_TRACE_SCOPE("name") opens an RAII span over the enclosing
@@ -78,7 +84,16 @@ void trace_start(const std::string& path, std::size_t buffer_events = 0);
 /// Disarm, flush every thread buffer to the armed path, reset the buffers.
 /// Threads must be quiescent (no spans in flight) for a complete flush —
 /// in-flight events may be missed, never torn. No-op when never armed.
+/// Joins the periodic flusher (if STEPPING_TRACE_FLUSH_SEC started one)
+/// before flushing.
 TraceStats trace_stop();
+
+/// Rewrite the armed path with everything recorded so far WITHOUT
+/// disarming or resetting the buffers (the periodic flusher calls this;
+/// also useful programmatically around phases of interest). Concurrent
+/// recording is safe — events published before the call are included,
+/// in-flight ones appear in the next flush. No-op when not armed.
+TraceStats trace_flush();
 
 /// Label the calling thread in the trace (Perfetto thread_name metadata).
 /// Cheap; safe to call whether or not tracing is armed.

@@ -1,0 +1,31 @@
+#include "quant/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stepping::quant {
+
+void CalibrationTable::record(const std::string& name, int level,
+                              const float* x, std::size_t count) {
+  float absmax = 0.0f;
+  bool nonneg = true;
+  for (std::size_t i = 0; i < count; ++i) {
+    const float v = x[i];
+    if (std::isnan(v)) continue;
+    absmax = std::max(absmax, std::fabs(v));
+    if (v < 0.0f) nonneg = false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  CalibEntry& e = entries_[{name, level}];
+  e.absmax = std::max(e.absmax, absmax);
+  e.nonneg = e.nonneg && nonneg;
+  e.samples += count;
+}
+
+const CalibEntry* CalibrationTable::find(const std::string& name,
+                                         int level) const {
+  const auto it = entries_.find({name, level});
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+}  // namespace stepping::quant

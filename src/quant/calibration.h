@@ -1,0 +1,58 @@
+// Activation-range calibration for int8 inference (ISSUE 7).
+//
+// A calibration pass runs representative inputs through the fp32 forward
+// with SubnetContext::calib_record pointing at a CalibrationTable: each
+// quantizable layer records the absolute range (and non-negativity) of its
+// INPUT tensor, keyed by (layer name, subnet level). The per-level keying
+// matters because each subnet masks a different effective unit set, so the
+// same layer sees differently-shaped input distributions at every rung of
+// the ladder.
+//
+// Thread-safety: record() is internally locked (calibration is rare and
+// cold). find() is lock-free and must only run once recording is finished —
+// the serving path builds/receives a finished table before workers start.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "quant/quantize.h"
+
+namespace stepping::quant {
+
+/// Calibrated input statistics of one (layer, subnet level) pair.
+struct CalibEntry {
+  float absmax = 0.0f;
+  bool nonneg = true;  ///< true until a negative input value is observed
+  std::uint64_t samples = 0;
+};
+
+class CalibrationTable {
+ public:
+  /// Fold `count` values of layer `name`'s input at subnet `level` into the
+  /// table (max of absmax, AND of non-negativity). Locked; callers are the
+  /// fp32 layer forwards of a calibration pass.
+  void record(const std::string& name, int level, const float* x,
+              std::size_t count);
+
+  /// Entry lookup; nullptr when the pair was never calibrated (the layer
+  /// then falls back to fp32). Only valid once recording is finished.
+  const CalibEntry* find(const std::string& name, int level) const;
+
+  /// Convenience: activation params of a calibrated pair.
+  ActQuant params(const CalibEntry& e) const {
+    return activation_params(e.absmax, e.nonneg);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::map<std::pair<std::string, int>, CalibEntry> entries_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace stepping::quant

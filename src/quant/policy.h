@@ -1,0 +1,33 @@
+// Precision policy of the inference ladder (ISSUE 7).
+//
+// STEPPING_PRECISION=fp32|int8|auto selects how forwards execute:
+//  * fp32 (default): the bitwise-deterministic reference path everywhere —
+//    a pure no-op relative to pre-quantization builds;
+//  * int8: Dense/Conv2d body layers run the u8 x i8 GEMM providers
+//    (tensor/i8gemm.h) with per-output-channel weight scales and per-layer
+//    per-subnet-level activation scales (quant/calibration.h); accuracy is
+//    gated statistically (<= 1.0 top-1 pp vs fp32 per level), not bitwise;
+//  * auto: a serving policy — serve::Server publishes an int8 preliminary
+//    at the planned target level, then refines through the fp32 ladder.
+//    Individual layer forwards never see kAuto (the server resolves it);
+//    layers treat anything other than kInt8 as fp32.
+#pragma once
+
+#include <string>
+
+namespace stepping::quant {
+
+enum class Precision : int { kFp32 = 0, kInt8 = 1, kAuto = 2 };
+
+/// "fp32", "int8", "auto".
+const char* precision_name(Precision p);
+
+/// Parse a STEPPING_PRECISION / --precision value. Returns false (out
+/// untouched) for unknown names; matching is exact and lowercase.
+bool parse_precision(const std::string& s, Precision* out);
+
+/// STEPPING_PRECISION parsed, defaulting to kFp32 when unset or unknown
+/// (unknown values log a warning once). Re-read on every call.
+Precision precision_from_env();
+
+}  // namespace stepping::quant

@@ -1,0 +1,113 @@
+#include "quant/prepared.h"
+
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/gemm_kernel.h"
+#include "util/arena.h"
+
+namespace stepping::quant {
+
+namespace {
+
+obs::Counter& quant_packs() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("stepping_quant_packs_total");
+  return c;
+}
+
+obs::Counter& quant_forwards() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("stepping_quant_int8_forwards_total");
+  return c;
+}
+
+/// Blob layout (raw bytes inside the float vector): [packed i8 panels]
+/// [wsum i32 * n][scale f32 * n], with the i8 region rounded up to a float
+/// boundary so the typed views stay 4-byte aligned.
+std::size_t packed_floats(int k, int n, int nr) {
+  return (i8gemm_packed_bytes(k, n, nr) + sizeof(float) - 1) / sizeof(float);
+}
+
+PreparedInt8 view_blob(std::shared_ptr<const std::vector<float>> blob, int n,
+                       int k, const I8GemmKernel& kr) {
+  PreparedInt8 out;
+  const std::size_t pf = packed_floats(k, n, kr.nr);
+  out.packed = reinterpret_cast<const std::int8_t*>(blob->data());
+  out.wsum = reinterpret_cast<const std::int32_t*>(blob->data() + pf);
+  out.scale = blob->data() + pf + n;
+  out.kernel = &kr;
+  out.n = n;
+  out.k = k;
+  out.blob = std::move(blob);
+  return out;
+}
+
+}  // namespace
+
+PreparedInt8 prepare_int8_weights(std::uint64_t pack_id, const float* wt,
+                                  int n, int k) {
+  const I8GemmKernel& kr = i8gemm_kernel();
+  STEPPING_TRACE_SCOPE_CAT("kernel", "quant.prepare");
+  if (pack_id != 0) {
+    if (auto found = pack_cache_find_kind(pack_id, k, n, /*nc=*/n, kr.id,
+                                          /*kind=*/1)) {
+      return view_blob(std::move(found), n, k, kr);
+    }
+  }
+
+  WeightQuant wq;
+  quantize_weights_per_channel(wt, n, k, &wq);
+
+  const std::size_t pf = packed_floats(k, n, kr.nr);
+  auto blob = std::make_shared<std::vector<float>>(
+      pf + 2 * static_cast<std::size_t>(n), 0.0f);
+  i8gemm_pack(wq.q.data(), k, n, kr.nr,
+              reinterpret_cast<std::int8_t*>(blob->data()));
+  std::memcpy(blob->data() + pf, wq.wsum.data(),
+              sizeof(std::int32_t) * static_cast<std::size_t>(n));
+  std::memcpy(blob->data() + pf + n, wq.scale.data(),
+              sizeof(float) * static_cast<std::size_t>(n));
+  quant_packs().inc();
+
+  std::shared_ptr<const std::vector<float>> shared = std::move(blob);
+  if (pack_id != 0) {
+    pack_cache_insert_kind(pack_id, k, n, /*nc=*/n, kr.id, /*kind=*/1, shared);
+  }
+  return view_blob(std::move(shared), n, k, kr);
+}
+
+void int8_dense_forward(const float* x, int m, const PreparedInt8& pw,
+                        const ActQuant& aq, const unsigned char* col_active,
+                        const float* bias, bool relu, float* y) {
+  quant_forwards().inc();
+  const int k4 = i8gemm_k4(pw.k);
+  ArenaScope ws;
+  auto* a = static_cast<std::uint8_t*>(
+      ws.alloc(static_cast<std::size_t>(m) * k4));
+  quantize_activations(x, m, pw.k, k4, aq, a);
+  auto* acc = static_cast<std::int32_t*>(
+      ws.alloc(static_cast<std::size_t>(m) * pw.n * sizeof(std::int32_t)));
+  i8gemm_run(*pw.kernel, a, m, pw.k, pw.packed, pw.n, col_active, acc);
+  dequantize_bias_view(acc, m, pw.n, aq, pw.scale, pw.wsum, col_active, bias,
+                       relu, y);
+}
+
+void int8_conv_forward(const float* cols, int spatial, const PreparedInt8& pw,
+                       const ActQuant& aq, const unsigned char* row_active,
+                       const float* bias, bool relu, float* y) {
+  quant_forwards().inc();
+  const int k4 = i8gemm_k4(pw.k);
+  ArenaScope ws;
+  auto* a = static_cast<std::uint8_t*>(
+      ws.alloc(static_cast<std::size_t>(spatial) * k4));
+  quantize_activations_transposed(cols, spatial, pw.k, k4, aq, a);
+  auto* acc = static_cast<std::int32_t*>(ws.alloc(
+      static_cast<std::size_t>(spatial) * pw.n * sizeof(std::int32_t)));
+  i8gemm_run(*pw.kernel, a, spatial, pw.k, pw.packed, pw.n, row_active, acc);
+  dequantize_bias_transposed(acc, spatial, pw.n, aq, pw.scale, pw.wsum,
+                             row_active, bias, relu, y);
+}
+
+}  // namespace stepping::quant

@@ -1,0 +1,60 @@
+// Prepared int8 weights + layer-facing int8 forward drivers (ISSUE 7).
+//
+// A layer's int8 operand is one blob per (weight snapshot, provider):
+// the i8 panel packing of its effective weights (tensor/i8gemm.h layout)
+// followed by the per-channel compensation sums and scales. Blobs live in
+// the SAME LRU pack cache as the fp32 panels (gemm_kernel.h, pack kind 1),
+// keyed on the layer's pack_id — so SGD steps, deserialization and mask
+// edits invalidate int8 panels through exactly the version bumps that
+// already invalidate fp32 panels, and STEPPING_PACK_CACHE_MB bounds both.
+//
+// Per-output-channel weight scales make the panel subnet-INDEPENDENT: a
+// smaller subnet only deactivates output channels (columns), it never
+// changes an active channel's weights, so one blob serves every level while
+// the per-level calibration (quant/calibration.h) supplies the activation
+// scales.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "quant/quantize.h"
+#include "tensor/i8gemm.h"
+
+namespace stepping::quant {
+
+/// A ready-to-run int8 operand: a shared handle on the cached blob plus
+/// typed views into it. Valid while `blob` is held (cache eviction cannot
+/// free it under a reader).
+struct PreparedInt8 {
+  std::shared_ptr<const std::vector<float>> blob;
+  const std::int8_t* packed = nullptr;   ///< i8gemm panel layout
+  const std::int32_t* wsum = nullptr;    ///< per-channel sum of codes, size n
+  const float* scale = nullptr;          ///< per-channel sw_j, size n
+  const I8GemmKernel* kernel = nullptr;  ///< provider the panels target
+  int n = 0;  ///< output channels
+  int k = 0;  ///< contraction depth (un-padded)
+};
+
+/// Get-or-build the active provider's int8 blob for Wt (n x k row-major
+/// effective weights). `pack_id` keys the cache (0 = transient: build
+/// without caching, e.g. when the cache is disabled).
+PreparedInt8 prepare_int8_weights(std::uint64_t pack_id, const float* wt,
+                                  int n, int k);
+
+/// Dense int8 forward: y (m x n, row-major) = dequant(q(x) . packed) with
+/// fused bias/ReLU epilogue; inactive columns are written as 0. x is the
+/// (m x k) fp32 input.
+void int8_dense_forward(const float* x, int m, const PreparedInt8& pw,
+                        const ActQuant& aq, const unsigned char* col_active,
+                        const float* bias, bool relu, float* y);
+
+/// Conv2d int8 forward over one image's im2col matrix `cols` (patch x
+/// spatial, fp32): writes y (units x spatial) = dequant(q(cols)^T . packed)^T
+/// with fused bias/ReLU; inactive units' planes are written as 0.
+void int8_conv_forward(const float* cols, int spatial, const PreparedInt8& pw,
+                       const ActQuant& aq, const unsigned char* row_active,
+                       const float* bias, bool relu, float* y);
+
+}  // namespace stepping::quant

@@ -45,7 +45,8 @@ struct LevelCosts {
 LevelCosts measure_level_costs(Network& net, int max_level);
 
 /// Pure scheduling decisions over a LevelCosts table and a DeviceModel.
-/// Immutable after construction; safe to share across worker threads.
+/// Immutable after construction (set_int8_scale runs once during server
+/// startup, before workers exist); safe to share across worker threads.
 class Planner {
  public:
   Planner(LevelCosts costs, DeviceModel dev);
@@ -53,6 +54,19 @@ class Planner {
   int max_level() const { return costs_.max_level(); }
   const LevelCosts& costs() const { return costs_; }
   const DeviceModel& device() const { return dev_; }
+
+  /// Measured wall-clock ratio int8 / fp32 of a full forward (ISSUE 7);
+  /// 1.0 until the server measures the host. Clamped to [0.05, 1.0] — the
+  /// planner never assumes int8 is SLOWER than fp32 (it falls back to
+  /// treating it as equal cost).
+  double int8_scale() const { return int8_scale_; }
+  void set_int8_scale(double s);
+
+  /// Estimated wall-clock of one from-scratch int8 pass of subnet `level`
+  /// (the auto policy's preliminary rung): the fp32 full-forward estimate
+  /// scaled by int8_scale(). MAC counts are precision-independent, so only
+  /// time scales.
+  double int8_full_ms(int level, int batch = 1) const;
 
   /// Estimated wall-clock of one step `from -> to` on a micro-batch of
   /// `batch` inputs (the batch steps together; MACs scale linearly).
@@ -80,6 +94,7 @@ class Planner {
  private:
   LevelCosts costs_;
   DeviceModel dev_;
+  double int8_scale_ = 1.0;
 };
 
 }  // namespace stepping::serve

@@ -68,7 +68,8 @@ bool decode_request(const std::vector<std::uint8_t>& payload,
   std::uint8_t opcode = 0;
   if (!get(payload, at, opcode)) return false;
   req.opcode = static_cast<Opcode>(opcode);
-  if (req.opcode == Opcode::kShutdown || req.opcode == Opcode::kStats) {
+  if (req.opcode == Opcode::kShutdown || req.opcode == Opcode::kStats ||
+      req.opcode == Opcode::kStatsProm) {
     return at == payload.size();
   }
   if (req.opcode != Opcode::kInfer) return false;

@@ -26,7 +26,10 @@
 //
 // A stats request (opcode only, no further fields) is answered with one
 // frame whose payload is the raw UTF-8 bytes of the server's metrics
-// registry JSON snapshot (serve::Server::metrics_json()).
+// registry JSON snapshot (serve::Server::metrics_json()). A stats_prom
+// request (opcode 3, same opcode-only frame shape) is answered with the
+// Prometheus text exposition of the same registry
+// (serve::Server::metrics_prometheus()) — scrape-ready without a sidecar.
 #pragma once
 
 #include <cstdint>
@@ -36,7 +39,12 @@
 
 namespace stepping::serve {
 
-enum class Opcode : std::uint8_t { kInfer = 0, kShutdown = 1, kStats = 2 };
+enum class Opcode : std::uint8_t {
+  kInfer = 0,
+  kShutdown = 1,
+  kStats = 2,
+  kStatsProm = 3,
+};
 
 /// Frames larger than this are rejected and the connection dropped
 /// (defensive bound; a 512x512x64 float image is ~64 MiB).

@@ -11,6 +11,7 @@
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/env.h"
+#include "util/rng.h"
 
 namespace stepping::serve {
 
@@ -105,6 +106,46 @@ Server::Server(const Network& model, ServeConfig cfg)
     for (Network& r : replicas_) r.forward(x0, warm_ctx);
   }
 
+  // Int8 setup (ISSUE 7): resolve the calibration table, warm the int8
+  // panel packs the same way, and measure this host's int8/fp32 speed
+  // ratio so the planner prices int8 rungs from data, not assumption.
+  if (cfg_.precision != quant::Precision::kFp32) {
+    calib_ = cfg_.calibration;
+    if (!calib_) {
+      // Deterministic self-calibration on standard-normal inputs: both
+      // signs covered, so every (layer, level) pair gets a usable range.
+      constexpr int kCalibImages = 8;
+      Rng rng(0xca11b8a7edULL);
+      Tensor xs({kCalibImages, model.input_channels(), model.input_h(),
+                 model.input_w()});
+      for (std::int64_t i = 0; i < xs.numel(); ++i) {
+        xs.data()[i] = static_cast<float>(rng.normal());
+      }
+      calib_ = calibrate_int8(replicas_.front(), xs, kCalibImages,
+                              cfg_.max_subnet);
+    }
+    SubnetContext i8_ctx;
+    i8_ctx.subnet_id = cfg_.max_subnet;
+    i8_ctx.num_subnets = cfg_.max_subnet;
+    i8_ctx.precision = quant::Precision::kInt8;
+    i8_ctx.calibration = calib_.get();
+    SubnetContext fp_ctx;
+    fp_ctx.subnet_id = cfg_.max_subnet;
+    fp_ctx.num_subnets = cfg_.max_subnet;
+    Tensor x0({1, model.input_channels(), model.input_h(), model.input_w()});
+    for (Network& r : replicas_) r.forward(x0, i8_ctx);  // warm int8 packs
+    const auto time_forward = [&](const SubnetContext& ctx) {
+      constexpr int kReps = 3;
+      Network& r = replicas_.front();
+      Timer t;
+      for (int i = 0; i < kReps; ++i) r.forward(x0, ctx);
+      return t.milliseconds() / kReps;
+    };
+    const double fp_ms = time_forward(fp_ctx);
+    const double i8_ms = time_forward(i8_ctx);
+    if (fp_ms > 0.0) planner_->set_int8_scale(i8_ms / fp_ms);
+  }
+
   // Resolve every metric handle up front; workers only touch atomics.
   m_.submitted = &registry_.counter("serve_submitted_total");
   m_.rejected = &registry_.counter("serve_rejected_total");
@@ -114,6 +155,7 @@ Server::Server(const Network& model, ServeConfig cfg)
   m_.batched_inputs = &registry_.counter("serve_batched_inputs_total");
   m_.total_macs = &registry_.counter("serve_macs_total");
   m_.reuse_macs_saved = &registry_.counter("serve_reuse_macs_saved_total");
+  m_.int8_passes = &registry_.counter("serve_int8_passes_total");
   m_.queue_depth = &registry_.gauge("serve_queue_depth");
   m_.peak_queue_depth = &registry_.gauge("serve_peak_queue_depth");
   m_.queue_ms = &registry_.histogram("serve_queue_ms");
@@ -299,18 +341,77 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
   int active = b;
   int top_level = 0;
   std::int64_t batch_macs = 0;
+
+  // Int8-only ladder (ISSUE 7): every rung runs from scratch on the int8
+  // providers — the incremental executor's exact-reuse invariant is an fp32
+  // bitwise property, so int8 never reuses.
+  const bool int8_ladder =
+      cfg_.precision == quant::Precision::kInt8 && calib_ != nullptr;
+
+  // Auto policy (ISSUE 7): one cheap int8 pass at the highest planned
+  // target publishes a preliminary answer for every request, then the fp32
+  // ladder below refines (and finalizes) as usual. The int8 pass counts
+  // toward MACs and budgets — MAC counts are precision-independent.
+  if (cfg_.precision == quant::Precision::kAuto && calib_ != nullptr) {
+    int prelim = 1;
+    for (const Live& lv : live) prelim = std::max(prelim, lv.target);
+    obs::TraceScope prelim_span("serve.int8_prelim", "serve");
+    SubnetContext ctx;
+    ctx.subnet_id = prelim;
+    ctx.num_subnets = cfg_.max_subnet;
+    ctx.precision = quant::Precision::kInt8;
+    ctx.calibration = calib_.get();
+    Tensor y = net.forward(x, ctx);
+    prelim_span.arg("batch", b);
+    prelim_span.arg("level", prelim);
+    m_.int8_passes->inc();
+    const std::int64_t prelim_img =
+        planner_->costs().full[static_cast<std::size_t>(prelim - 1)];
+    batch_macs += prelim_img * b;
+    m_.total_macs->inc(static_cast<std::uint64_t>(prelim_img * b));
+    const double now = now_ms();
+    softmax_rows(y, probs);
+    const int classes = y.dim(1);
+    for (int j = 0; j < b; ++j) {
+      Live& lv = live[static_cast<std::size_t>(j)];
+      lv.macs += prelim_img;
+      double top1 = 0.0;
+      for (int k = 0; k < classes; ++k) {
+        top1 = std::max(top1, static_cast<double>(probs.at(j, k)));
+      }
+      lv.confidence = top1;
+      lv.first_ms = now - jobs[j].submit_ms;
+      StepUpdate update;
+      update.subnet = prelim;
+      update.at_ms = lv.first_ms;
+      update.macs = lv.macs;
+      update.confidence = top1;
+      update.final = false;
+      update.int8 = true;
+      lv.steps.push_back(update);
+      if (jobs[j].on_step) jobs[j].on_step(update);
+    }
+  }
+
   for (int level = 1; level <= cfg_.max_subnet && active > 0; ++level) {
     obs::TraceScope step_span(step_span_name(level), "serve");
     const double level_start = now_ms();
     Tensor y;
     std::int64_t step_img = 0;
-    if (cfg_.reuse) {
+    if (cfg_.reuse && !int8_ladder) {
       y = ex.run(x, level);
       step_img = ex.last_step_macs();
     } else {
-      // No-reuse baseline: every refinement level pays the full subnet.
+      // No-reuse baseline (and every int8 ladder): each refinement level
+      // pays the full subnet.
       SubnetContext ctx;
       ctx.subnet_id = level;
+      ctx.num_subnets = cfg_.max_subnet;
+      if (int8_ladder) {
+        ctx.precision = quant::Precision::kInt8;
+        ctx.calibration = calib_.get();
+        m_.int8_passes->inc();
+      }
       y = net.forward(x, ctx);
       step_img = planner_->costs().full[static_cast<std::size_t>(level - 1)];
     }
@@ -323,7 +424,7 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
     softmax_rows(y, probs);
     m_.step_passes[static_cast<std::size_t>(level - 1)]->inc();
     m_.total_macs->inc(static_cast<std::uint64_t>(step_img * active));
-    if (cfg_.reuse) {
+    if (cfg_.reuse && !int8_ladder) {
       // MACs a no-reuse baseline would have paid for this pass, minus what
       // incremental execution actually cost.
       const std::int64_t full =
@@ -344,7 +445,10 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
         top1 = std::max(top1, static_cast<double>(probs.at(j, k)));
       }
       lv.confidence = top1;
-      if (level == 1) lv.first_ms = now - jobs[j].submit_ms;
+      // An auto-mode int8 preliminary already answered first.
+      if (level == 1 && lv.first_ms == 0.0) {
+        lv.first_ms = now - jobs[j].submit_ms;
+      }
 
       const double remaining = jobs[j].deadline_abs_ms > 0.0
                                    ? jobs[j].deadline_abs_ms - now
@@ -369,6 +473,7 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
       update.macs = lv.macs;
       update.confidence = top1;
       update.final = stop;
+      update.int8 = int8_ladder;
       lv.steps.push_back(update);
       if (jobs[j].on_step) jobs[j].on_step(update);
 

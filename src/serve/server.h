@@ -54,6 +54,8 @@
 #include "core/latency.h"
 #include "nn/network.h"
 #include "obs/metrics.h"
+#include "quant/calibration.h"
+#include "quant/policy.h"
 #include "serve/planner.h"
 #include "serve/queue.h"
 #include "serve/result.h"
@@ -89,6 +91,19 @@ struct ServeConfig {
   /// Latency model used for planning (calibrate_device() for the real
   /// host, or a preset/synthetic model in tests).
   DeviceModel device;
+  /// Precision policy of the ladder (ISSUE 7). kFp32 (default): the
+  /// bitwise-deterministic reference ladder, exactly as before. kInt8:
+  /// every rung runs the u8 x i8 providers from scratch (the incremental
+  /// executor's exact-reuse invariant is an fp32 property, so int8 rungs
+  /// never reuse). kAuto: one cheap int8 pass at the planned target level
+  /// publishes a preliminary for every request, then the fp32 ladder
+  /// refines as usual — the anytime contract with a faster first answer.
+  quant::Precision precision = quant::Precision::kFp32;
+  /// Activation calibration for int8 rungs. When null and precision is not
+  /// kFp32, the server self-calibrates at startup on deterministic random
+  /// inputs (fine for latency work; pass a table calibrated on real data
+  /// for accuracy-sensitive serving).
+  std::shared_ptr<const quant::CalibrationTable> calibration;
 };
 
 /// Legacy aggregate view, assembled from the server's metrics registry.
@@ -171,6 +186,10 @@ class Server {
 
   ServeConfig cfg_;
   std::unique_ptr<Planner> planner_;
+  /// Effective calibration table (cfg_.calibration or the startup
+  /// self-calibration); null iff precision is kFp32. Immutable once workers
+  /// start.
+  std::shared_ptr<const quant::CalibrationTable> calib_;
   std::vector<Network> replicas_;  ///< one per worker
   RequestQueue queue_;
   Timer clock_;
@@ -190,6 +209,7 @@ class Server {
     obs::Counter* batched_inputs = nullptr;
     obs::Counter* total_macs = nullptr;
     obs::Counter* reuse_macs_saved = nullptr;
+    obs::Counter* int8_passes = nullptr;  ///< int8 forwards (prelim or rung)
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* peak_queue_depth = nullptr;
     std::vector<obs::Counter*> step_passes;  ///< per subnet level

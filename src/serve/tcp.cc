@@ -90,10 +90,12 @@ void TcpServer::handle_connection(int fd) {
       stop();
       break;
     }
-    if (req.opcode == Opcode::kStats) {
-      const std::string json = server_.metrics_json();
-      if (!write_frame(fd, std::vector<std::uint8_t>(json.begin(),
-                                                     json.end()))) {
+    if (req.opcode == Opcode::kStats || req.opcode == Opcode::kStatsProm) {
+      const std::string text = req.opcode == Opcode::kStats
+                                   ? server_.metrics_json()
+                                   : server_.metrics_prometheus();
+      if (!write_frame(fd, std::vector<std::uint8_t>(text.begin(),
+                                                     text.end()))) {
         break;
       }
       continue;
@@ -175,6 +177,16 @@ bool TcpClient::stats(std::string& json_out) {
   std::vector<std::uint8_t> payload;
   if (!read_frame(fd_, payload) || payload.empty()) return false;
   json_out.assign(payload.begin(), payload.end());
+  return true;
+}
+
+bool TcpClient::stats_prometheus(std::string& text_out) {
+  WireRequest req;
+  req.opcode = Opcode::kStatsProm;
+  if (!write_frame(fd_, encode_request(req))) return false;
+  std::vector<std::uint8_t> payload;
+  if (!read_frame(fd_, payload) || payload.empty()) return false;
+  text_out.assign(payload.begin(), payload.end());
   return true;
 }
 

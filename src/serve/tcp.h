@@ -70,6 +70,10 @@ class TcpClient {
   /// the registry's JSON snapshot.
   bool stats(std::string& json_out);
 
+  /// Same poll in Prometheus text exposition (kStatsProm): fills
+  /// `text_out` with serve::Server::metrics_prometheus().
+  bool stats_prometheus(std::string& text_out);
+
  private:
   int fd_ = -1;
 };

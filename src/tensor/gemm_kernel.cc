@@ -397,8 +397,10 @@ struct PackKey {
   int n;
   int nc;
   int tier;
+  int kind;  ///< 0 = fp32 panels; 1 = int8 quant blob (ISSUE 7)
   bool operator==(const PackKey& o) const {
-    return id == o.id && k == o.k && n == o.n && nc == o.nc && tier == o.tier;
+    return id == o.id && k == o.k && n == o.n && nc == o.nc &&
+           tier == o.tier && kind == o.kind;
   }
 };
 
@@ -409,6 +411,7 @@ struct PackKeyHash {
     h ^= static_cast<std::uint32_t>(key.n) ^
          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.nc)) << 13);
     h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.tier)) << 47;
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.kind)) << 21;
     return static_cast<std::size_t>(h ^ (h >> 29));
   }
 };
@@ -503,7 +506,7 @@ PackedBuffer acquire_packed(std::uint64_t pack_id, const float* bt, int k,
                             int n, int nc, int nr, IsaTier tier, bool* hit) {
   const long limit_mb = pack_cache_limit_mb();
   if (limit_mb <= 0) return nullptr;
-  const PackKey key{pack_id, k, n, nc, static_cast<int>(tier)};
+  const PackKey key{pack_id, k, n, nc, static_cast<int>(tier), /*kind=*/0};
   STEPPING_TRACE_SCOPE_CAT("kernel", "gemm.packcache");
   if (PackedBuffer found = pack_cache().find(key)) {
     packcache_hits().inc();
@@ -732,6 +735,30 @@ void set_pack_cache_limit_mb(long mb) {
 std::size_t pack_cache_bytes() { return pack_cache().bytes(); }
 
 std::size_t pack_cache_entries() { return pack_cache().entries(); }
+
+std::shared_ptr<const std::vector<float>> pack_cache_find_kind(
+    std::uint64_t pack_id, int k, int n, int nc, int tier, int kind) {
+  if (pack_cache_limit_mb() <= 0 || pack_id == 0) return nullptr;
+  const PackKey key{pack_id, k, n, nc, tier, kind};
+  PackedBuffer found = pack_cache().find(key);
+  if (found != nullptr) {
+    packcache_hits().inc();
+  } else {
+    packcache_misses().inc();
+  }
+  return found;
+}
+
+void pack_cache_insert_kind(std::uint64_t pack_id, int k, int n, int nc,
+                            int tier, int kind,
+                            std::shared_ptr<const std::vector<float>> data) {
+  const long limit_mb = pack_cache_limit_mb();
+  if (limit_mb <= 0 || pack_id == 0 || data == nullptr) return;
+  packcache_bytes_packed().inc(data->size() * sizeof(float));
+  const PackKey key{pack_id, k, n, nc, tier, kind};
+  pack_cache().insert(key, std::move(data),
+                      static_cast<std::size_t>(limit_mb) << 20);
+}
 
 // ---------------------------------------------------------------------------
 // Dispatchers.

@@ -66,6 +66,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 namespace stepping {
 
@@ -124,6 +126,19 @@ long pack_cache_limit_mb();
 /// Current cache occupancy (for tests / introspection).
 std::size_t pack_cache_bytes();
 std::size_t pack_cache_entries();
+
+/// Alternate pack kinds (ISSUE 7) share the fp32 LRU cache — one capacity
+/// budget, one eviction policy, the same id-based invalidation (a fresh
+/// pack_id can only miss). Kind 0 is the fp32 panel layout owned by the
+/// blocked path; kind 1 is the quant subsystem's int8 panel blob (packed
+/// i8 panels + per-channel compensation sums + scales, stored as raw bytes
+/// in the float vector). Other subsystems go through these two calls; the
+/// `tier` field pins the layout-defining provider id.
+std::shared_ptr<const std::vector<float>> pack_cache_find_kind(
+    std::uint64_t pack_id, int k, int n, int nc, int tier, int kind);
+void pack_cache_insert_kind(std::uint64_t pack_id, int k, int n, int nc,
+                            int tier, int kind,
+                            std::shared_ptr<const std::vector<float>> data);
 
 // ---------------------------------------------------------------------------
 // Dispatching raw-pointer kernels. Same math and dimension conventions as

@@ -10,10 +10,12 @@ CpuFeatures probe() {
     (defined(__GNUC__) || defined(__clang__))
   __builtin_cpu_init();
   f.sse2 = __builtin_cpu_supports("sse2");
+  f.ssse3 = __builtin_cpu_supports("ssse3");
   f.avx = __builtin_cpu_supports("avx");
   f.fma = __builtin_cpu_supports("fma");
   f.avx2 = __builtin_cpu_supports("avx2");
   f.avx512f = __builtin_cpu_supports("avx512f");
+  f.avx512vnni = __builtin_cpu_supports("avx512vnni");
 #endif
   return f;
 }
@@ -34,10 +36,12 @@ std::string cpu_features_string() {
     out += name;
   };
   add(f.sse2, "sse2");
+  add(f.ssse3, "ssse3");
   add(f.avx, "avx");
   add(f.fma, "fma");
   add(f.avx2, "avx2");
   add(f.avx512f, "avx512f");
+  add(f.avx512vnni, "avx512vnni");
   return out.empty() ? "none" : out;
 }
 

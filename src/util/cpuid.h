@@ -15,17 +15,20 @@ namespace stepping {
 
 struct CpuFeatures {
   bool sse2 = false;
+  bool ssse3 = false;
   bool avx = false;
   bool fma = false;
   bool avx2 = false;
   bool avx512f = false;
+  bool avx512vnni = false;
 };
 
 /// Probed once, cached for the process lifetime.
 const CpuFeatures& cpu_features();
 
-/// Space-separated flag names for logs / CI debugging ("sse2 avx fma avx2
-/// avx512f"); "none" when nothing is detected (non-x86 builds).
+/// Space-separated flag names for logs / CI debugging ("sse2 ssse3 avx fma
+/// avx2 avx512f avx512vnni"); "none" when nothing is detected (non-x86
+/// builds).
 std::string cpu_features_string();
 
 }  // namespace stepping

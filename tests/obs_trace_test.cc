@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -137,6 +139,62 @@ TEST(ObsTrace, FullBuffersDropInsteadOfWrapping) {
   EXPECT_EQ(stats.dropped, 84u);
   const std::string json = slurp(path);
   EXPECT_TRUE(balanced_json(json));
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, MidRunFlushKeepsEventsAndStaysValid) {
+  // trace_flush (the streaming-flush primitive behind
+  // STEPPING_TRACE_FLUSH_SEC) rewrites the whole file without disarming or
+  // resetting buffers: the mid-run file is valid JSON, recording continues,
+  // and the final flush still carries the pre-flush events.
+  const std::string path = temp_path("obs_trace_midflush.json");
+  trace_start(path);
+  { STEPPING_TRACE_SCOPE("before.flush"); }
+  const TraceStats mid = trace_flush();
+  EXPECT_TRUE(trace_enabled()) << "flush must not disarm tracing";
+  EXPECT_GE(mid.events, 1u);
+  const std::string mid_json = slurp(path);
+  EXPECT_TRUE(balanced_json(mid_json)) << mid_json;
+  EXPECT_NE(mid_json.find("\"before.flush\""), std::string::npos);
+
+  { STEPPING_TRACE_SCOPE("after.flush"); }
+  const TraceStats fin = trace_stop();
+  EXPECT_GE(fin.events, 2u) << "periodic flushes must not reset buffers";
+  const std::string json = slurp(path);
+  EXPECT_TRUE(balanced_json(json));
+  EXPECT_NE(json.find("\"before.flush\""), std::string::npos);
+  EXPECT_NE(json.find("\"after.flush\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, FlushWhenDisarmedIsNoOp) {
+  ASSERT_FALSE(trace_enabled());
+  const TraceStats stats = trace_flush();
+  EXPECT_EQ(stats.events, 0u);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(ObsTrace, PeriodicFlusherWritesFileWhileArmed) {
+  // STEPPING_TRACE_FLUSH_SEC spawns a background flusher at trace_start:
+  // the trace file must appear (and parse) while tracing is still running.
+  const std::string path = temp_path("obs_trace_periodic.json");
+  ASSERT_EQ(setenv("STEPPING_TRACE_FLUSH_SEC", "0.05", 1), 0);
+  trace_start(path);
+  { STEPPING_TRACE_SCOPE("periodic.span"); }
+  std::string json;
+  // Poll up to ~2 s for the flusher's first write (period 50 ms).
+  for (int i = 0; i < 200; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    json = slurp(path);
+    if (json.find("\"periodic.span\"") != std::string::npos) break;
+  }
+  EXPECT_TRUE(trace_enabled());
+  EXPECT_NE(json.find("\"periodic.span\""), std::string::npos)
+      << "flusher never wrote the file";
+  EXPECT_TRUE(balanced_json(json)) << json;
+  const TraceStats stats = trace_stop();  // joins the flusher
+  EXPECT_GE(stats.events, 1u);
+  ASSERT_EQ(unsetenv("STEPPING_TRACE_FLUSH_SEC"), 0);
   std::remove(path.c_str());
 }
 

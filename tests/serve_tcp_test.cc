@@ -203,6 +203,45 @@ TEST(ServeTcp, StatsOpcodeReturnsInProcessMetricsJson) {
   server.shutdown();
 }
 
+TEST(ServeTcp, StatsPromOpcodeReturnsPrometheusExposition) {
+  Network net = nested_net();
+  ServeConfig cfg;
+  cfg.max_subnet = 3;
+  cfg.num_workers = 1;
+  Server server(net, cfg);
+  TcpServer tcp(server, /*port=*/0);
+  ASSERT_GT(tcp.port(), 0);
+  std::thread loop([&] { tcp.run(); });
+
+  {
+    TcpClient client(tcp.port());
+    {
+      WireReply reply;
+      ASSERT_TRUE(client.infer(random_input(4), /*deadline_ms=*/0.0,
+                               /*mac_budget=*/0, reply));
+    }
+    // The kStatsProm opcode answers with the text exposition — byte-equal
+    // to the in-process rendering once the server is quiescent.
+    std::string text;
+    ASSERT_TRUE(client.stats_prometheus(text));
+    EXPECT_EQ(text, server.metrics_prometheus());
+    EXPECT_NE(text.find("# TYPE serve_completed_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_completed_total 1"), std::string::npos);
+    // The two stats opcodes stay independently routable on one connection.
+    std::string json;
+    ASSERT_TRUE(client.stats(json));
+    EXPECT_EQ(json, server.metrics_json());
+  }
+
+  {
+    TcpClient client(tcp.port());
+    EXPECT_TRUE(client.shutdown_server());
+  }
+  loop.join();
+  server.shutdown();
+}
+
 TEST(ServeTcp, StopUnblocksRunWithoutClients) {
   Network net = nested_net();
   ServeConfig cfg;

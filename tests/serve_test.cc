@@ -500,6 +500,95 @@ TEST(ServeServer, MetricsJsonReflectsRegistryAndReuseSavings) {
             std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Precision policies (ISSUE 7): int8 as a rung of the anytime ladder.
+// ---------------------------------------------------------------------------
+
+/// Calibration table for nested_net() over a few random inputs.
+std::shared_ptr<quant::CalibrationTable> nested_calibration(Network& net) {
+  Rng rng(77);
+  Tensor xs({4, 3, 32, 32});
+  fill_normal(xs, 0.0f, 1.0f, rng);
+  return calibrate_int8(net, xs, /*batch=*/4, /*max_level=*/3);
+}
+
+TEST(ServeQuant, AutoPublishesInt8PreliminaryThenFp32Refines) {
+  Network net = nested_net();
+  ServeConfig cfg = base_config();
+  cfg.precision = quant::Precision::kAuto;
+  cfg.calibration = nested_calibration(net);
+  Server server(net, cfg);
+
+  Request req;
+  req.input = random_input(60);
+  std::vector<StepUpdate> seen;
+  std::mutex seen_mutex;
+  req.on_step = [&](const StepUpdate& s) {
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    seen.push_back(s);
+  };
+  const ServedResult res = server.serve(std::move(req));
+  ASSERT_EQ(res.exit_subnet, 3);
+
+  // First update: the int8 preliminary at the planned target, never final.
+  ASSERT_GE(seen.size(), 2u);
+  EXPECT_TRUE(seen.front().int8);
+  EXPECT_FALSE(seen.front().final);
+  EXPECT_EQ(seen.front().subnet, 3) << "preliminary runs at the target level";
+  // Refinements are the fp32 ladder: the final answer stays bitwise equal to
+  // the pure-fp32 reference — auto only changes WHEN a first answer exists.
+  EXPECT_FALSE(seen.back().int8);
+  EXPECT_TRUE(seen.back().final);
+  SubnetContext ctx;
+  ctx.subnet_id = 3;
+  const Tensor direct = net.forward(random_input(60), ctx);
+  ASSERT_EQ(res.logits.shape(), direct.shape());
+  EXPECT_EQ(0, std::memcmp(res.logits.data(), direct.data(),
+                           sizeof(float) *
+                               static_cast<std::size_t>(direct.numel())));
+  EXPECT_GT(server.metrics().counter("serve_int8_passes_total").value(), 0u);
+  EXPECT_LE(res.first_result_ms, res.final_ms);
+}
+
+TEST(ServeQuant, Int8LadderMatchesDirectInt8ForwardBitwise) {
+  Network net = nested_net();
+  ServeConfig cfg = base_config();
+  cfg.precision = quant::Precision::kInt8;
+  cfg.calibration = nested_calibration(net);
+  Server server(net, cfg);
+
+  const Tensor x = random_input(61);
+  Request req;
+  req.input = x;
+  std::vector<StepUpdate> seen;
+  std::mutex seen_mutex;
+  req.on_step = [&](const StepUpdate& s) {
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    seen.push_back(s);
+  };
+  const ServedResult res = server.serve(std::move(req));
+  ASSERT_EQ(res.exit_subnet, 3);
+  ASSERT_EQ(seen.size(), 3u);
+  for (const StepUpdate& s : seen) EXPECT_TRUE(s.int8);
+
+  // The int8 ladder never reuses (exact-reuse is an fp32-only property), so
+  // no reuse savings may be attributed...
+  EXPECT_EQ(server.metrics().counter("serve_reuse_macs_saved_total").value(),
+            0u);
+  // ...and the answer equals a direct int8 forward of the exit subnet (the
+  // single-TU dequant makes int8 outputs deterministic too).
+  SubnetContext ctx;
+  ctx.subnet_id = 3;
+  ctx.num_subnets = 3;
+  ctx.precision = quant::Precision::kInt8;
+  ctx.calibration = cfg.calibration.get();
+  const Tensor direct = net.forward(x, ctx);
+  ASSERT_EQ(res.logits.shape(), direct.shape());
+  EXPECT_EQ(0, std::memcmp(res.logits.data(), direct.data(),
+                           sizeof(float) *
+                               static_cast<std::size_t>(direct.numel())));
+}
+
 TEST(ServeServer, ThreeDInputIsNormalized) {
   Network net = nested_net();
   Server server(net, base_config());

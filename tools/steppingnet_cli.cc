@@ -21,8 +21,12 @@
 #include <string>
 #include <thread>
 
+#include <algorithm>
+
 #include "core/latency.h"
 #include "core/macs.h"
+#include "quant/calibration.h"
+#include "quant/policy.h"
 #include "core/report.h"
 #include "core/serialize.h"
 #include "core/stepping_net.h"
@@ -62,6 +66,9 @@ eval / info / latency / serve:
   --in PATH           load the model from here         (required)
   --deadline-ms MS    (latency) report the largest subnet meeting MS
                       (serve) default per-request deadline, 0 = none
+  --precision P       fp32 | int8 | auto               (default fp32)
+                      (eval) int8/auto print a per-subnet fp32-vs-int8 table
+                      (serve) precision policy of the anytime ladder
 
 serve:
   --port P            TCP port on 127.0.0.1, 0 = ephemeral (default 0)
@@ -73,7 +80,8 @@ serve:
   --metrics-dump-sec N  print a metrics JSON snapshot every N seconds
                         (a final snapshot always prints on shutdown)
 
-observability (env): STEPPING_TRACE=<path> writes a Chrome/Perfetto trace,
+observability (env): STEPPING_TRACE=<path> writes a Chrome/Perfetto trace
+(STEPPING_TRACE_FLUSH_SEC=N rewrites it every N seconds while running),
 STEPPING_LOG=<level> controls diagnostics; see the README env-var table.
 )";
 
@@ -199,24 +207,77 @@ int load_model(const CliArgs& args, const CommonConfig& c, Network& net) {
   return 0;
 }
 
+/// Parse --precision; when the flag is absent, fall back to the
+/// STEPPING_PRECISION environment variable (fp32 when that is unset too).
+bool cli_precision(const CliArgs& args, quant::Precision* out) {
+  if (!args.has("precision")) {
+    *out = quant::precision_from_env();
+    return true;
+  }
+  const std::string s = args.get("precision", "fp32");
+  if (!quant::parse_precision(s, out)) {
+    LOG_ERROR << "--precision must be fp32, int8 or auto (got \"" << s << "\")";
+    return false;
+  }
+  return true;
+}
+
 int cmd_eval(const CliArgs& args) {
   const CommonConfig c = common_config(args);
   Network net;
   if (const int rc = load_model(args, c, net)) return rc;
+  quant::Precision precision = quant::Precision::kFp32;
+  if (!cli_precision(args, &precision)) return 2;
   // Same generator call as training (the per-class counts position the RNG
   // stream, so the test set only matches train-time when they agree).
   const DataSplit data =
       make_data(c, static_cast<int>(args.get_int("train-per-class", 100)), 30);
-  Table t({"subnet", "test acc", "MACs"});
+
+  if (precision == quant::Precision::kFp32) {
+    Table t({"subnet", "test acc", "MACs"});
+    for (int i = 1; i <= c.subnets; ++i) {
+      const double acc = dataset_accuracy(
+          data.test, 64, [&](const Tensor& x, const std::vector<int>& y) {
+            return eval_batch(net, x, y, i);
+          });
+      t.add_row({std::to_string(i), Table::fmt_pct(acc),
+                 std::to_string(subnet_macs(net, i))});
+    }
+    t.print("Per-subnet evaluation (synthetic test set):");
+    return 0;
+  }
+
+  // Int8 comparison: calibrate activation ranges on a train slice, then
+  // score every subnet level in both precisions side by side.
+  const int calib_n = std::min(data.train.size(), 256);
+  Tensor calib_x;
+  std::vector<int> calib_y;
+  data.train.batch(0, calib_n, calib_x, calib_y);
+  const auto table = calibrate_int8(net, calib_x, 64, c.subnets);
+  std::printf("calibrated %zu (layer, level) ranges on %d train images\n",
+              table->size(), calib_n);
+
+  Table t({"subnet", "fp32 acc", "int8 acc", "delta pp", "MACs"});
   for (int i = 1; i <= c.subnets; ++i) {
-    const double acc = dataset_accuracy(
+    const double fp32_acc = dataset_accuracy(
         data.test, 64, [&](const Tensor& x, const std::vector<int>& y) {
           return eval_batch(net, x, y, i);
         });
-    t.add_row({std::to_string(i), Table::fmt_pct(acc),
+    SubnetContext ctx;
+    ctx.subnet_id = i;
+    ctx.num_subnets = c.subnets;
+    ctx.precision = quant::Precision::kInt8;
+    ctx.calibration = table.get();
+    const double int8_acc = dataset_accuracy(
+        data.test, 64, [&](const Tensor& x, const std::vector<int>& y) {
+          return eval_batch(net, x, y, ctx);
+        });
+    t.add_row({std::to_string(i), Table::fmt_pct(fp32_acc),
+               Table::fmt_pct(int8_acc),
+               Table::fmt((fp32_acc - int8_acc) * 100.0, 2),
                std::to_string(subnet_macs(net, i))});
   }
-  t.print("Per-subnet evaluation (synthetic test set):");
+  t.print("Per-subnet fp32 vs int8 evaluation (synthetic test set):");
   return 0;
 }
 
@@ -283,15 +344,29 @@ int cmd_serve(const CliArgs& args) {
   cfg.default_deadline_ms = args.get_double("deadline-ms", 0.0);
   cfg.reuse = !args.has("no-reuse");
   cfg.device = calibrate_device(net, c.subnets);
+  if (!cli_precision(args, &cfg.precision)) return 2;
+  if (cfg.precision != quant::Precision::kFp32) {
+    // Calibrate on real (synthetic-train) data rather than the server's
+    // random-input fallback: activation ranges then match what inference
+    // actually sees.
+    const DataSplit data = make_data(
+        c, static_cast<int>(args.get_int("train-per-class", 100)), 30);
+    const int calib_n = std::min(data.train.size(), 256);
+    Tensor calib_x;
+    std::vector<int> calib_y;
+    data.train.batch(0, calib_n, calib_x, calib_y);
+    cfg.calibration = calibrate_int8(net, calib_x, 64, c.subnets);
+  }
 
   serve::Server server(net, cfg);
   serve::TcpServer tcp(server, static_cast<int>(args.get_int("port", 0)));
   g_tcp_server = &tcp;
   std::signal(SIGINT, handle_sigint);
-  std::printf("serving %s on 127.0.0.1:%d (%d workers, batch %d, %s)\n",
+  std::printf("serving %s on 127.0.0.1:%d (%d workers, batch %d, %s, %s)\n",
               args.get("in").c_str(), tcp.port(), server.config().num_workers,
               server.config().max_batch,
-              cfg.reuse ? "incremental reuse" : "no-reuse baseline");
+              cfg.reuse ? "incremental reuse" : "no-reuse baseline",
+              quant::precision_name(cfg.precision));
   std::fflush(stdout);
 
   // Optional periodic metrics dump. The dumper sleeps on a condition
@@ -344,7 +419,8 @@ int main(int argc, char** argv) {
       "subnets", "budgets",        "out",             "epochs",
       "in",      "distill-epochs", "train-per-class", "seed",
       "deadline-ms", "port",       "workers",         "batch",
-      "confidence",  "mac-budget", "no-reuse",        "metrics-dump-sec"};
+      "confidence",  "mac-budget", "no-reuse",        "metrics-dump-sec",
+      "precision"};
   CliArgs args(argc, argv, known);
   if (!args.ok()) {
     for (const auto& e : args.errors()) std::fprintf(stderr, "%s\n", e.c_str());
