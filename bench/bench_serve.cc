@@ -23,6 +23,13 @@
 //    load and deadline — reports the miss-rate and mean-exit movement the
 //    int8 rung buys. Prints a `precision summary:` line for CI to grep.
 //
+// The default mode also measures the flight recorder's cost (ISSUE 8):
+// identical closed-loop load with the recorder on vs off, plus the idle
+// per-event-site cost with recording disabled, and writes every run
+// machine-readably to BENCH_serve.json in the working directory. --smoke
+// additionally fires a few hopeless-deadline requests, fetches the
+// kTimeline postmortem dump and writes it to BENCH_timeline.json.
+//
 // Honours STEPPING_SCALE (quick|full|paper) for request counts.
 #include <algorithm>
 #include <atomic>
@@ -39,6 +46,7 @@
 #include "baselines/any_width.h"
 #include "common.h"
 #include "core/macs.h"
+#include "obs/flight.h"
 #include "core/serialize.h"
 #include "models/models.h"
 #include "quant/policy.h"
@@ -150,6 +158,46 @@ struct LoadStats {
   }
 };
 
+/// One finished load run, labelled for the BENCH_serve.json report.
+struct BenchRow {
+  std::string label;
+  LoadStats stats;
+};
+
+void write_bench_json(const std::vector<BenchRow>& rows, double rec_on_rps,
+                      double rec_off_rps, double idle_event_ns) {
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const LoadStats& s = rows[i].stats;
+    std::fprintf(
+        f,
+        "    {\"label\": \"%s\", \"requests\": %zu, \"req_per_s\": %.2f, "
+        "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"miss_rate\": %.4f, \"mean_exit\": %.3f, \"macs_per_req\": %.0f}%s\n",
+        rows[i].label.c_str(), s.completed,
+        s.seconds > 0.0 ? static_cast<double>(s.completed) / s.seconds : 0.0,
+        percentile(s.latency_ms, 0.50), percentile(s.latency_ms, 0.95),
+        percentile(s.latency_ms, 0.99),
+        s.completed ? static_cast<double>(s.misses) /
+                          static_cast<double>(s.completed)
+                    : 0.0,
+        s.completed ? s.exit_sum / static_cast<double>(s.completed) : 0.0,
+        s.macs_per_req(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"flight_overhead\": {\"recorder_on_req_per_s\": "
+               "%.2f, \"recorder_off_req_per_s\": %.2f, "
+               "\"overhead_pct\": %.2f, \"idle_event_ns\": %.2f}\n}\n",
+               rec_on_rps, rec_off_rps,
+               rec_off_rps > 0.0 ? 100.0 * (1.0 - rec_on_rps / rec_off_rps)
+                                 : 0.0,
+               idle_event_ns);
+  std::fclose(f);
+  std::printf("wrote BENCH_serve.json (%zu runs)\n", rows.size());
+}
+
 /// Closed loop: `clients` threads, each submitting its requests serially
 /// (a new request only after the previous reply).
 LoadStats closed_loop(serve::Server& server, const std::vector<Tensor>& inputs,
@@ -241,6 +289,7 @@ int run_load(const ServeBenchConfig& c) {
     cfg.device = host;
     return std::make_unique<serve::Server>(net, cfg);
   };
+  std::vector<BenchRow> rows;
   double min_thr = 0.0;
   for (const bool reuse : {true, false}) {
     auto server = make_server(reuse);
@@ -249,6 +298,8 @@ int run_load(const ServeBenchConfig& c) {
     const double thr =
         static_cast<double>(closed.completed) / closed.seconds;
     min_thr = min_thr == 0.0 ? thr : std::min(min_thr, thr);
+    rows.push_back(
+        {reuse ? "closed_loop_reuse" : "closed_loop_no_reuse", std::move(closed)});
   }
   // One common arrival rate below the slower server's capacity, so the two
   // open-loop runs face identical offered load.
@@ -258,6 +309,7 @@ int run_load(const ServeBenchConfig& c) {
     auto server = make_server(reuse);
     LoadStats open = open_loop(*server, inputs, rate, 0.0);
     open.print(reuse ? "open-loop   reuse" : "open-loop   no-reuse");
+    rows.push_back({reuse ? "open_loop_reuse" : "open_loop_no_reuse", open});
     stats[reuse ? 0 : 1] = std::move(open);
   }
   std::printf(
@@ -328,7 +380,59 @@ int run_load(const ServeBenchConfig& c) {
     open.print(label);
     server.shutdown();
     std::printf("%s", server.counters().to_string().c_str());
+    std::printf("%s\n", server.slo_summary().c_str());
+    std::printf("%s\n", server.flight_summary().c_str());
+    rows.push_back({"open_loop_tight_deadline", std::move(open)});
   }
+
+  // Flight-recorder overhead (ISSUE 8): the same closed-loop load with the
+  // recorder enabled (default ring) vs disabled (ring = 0). Request work is
+  // milliseconds-scale, so the delta should be indistinguishable from noise
+  // — the JSON report keeps the receipts.
+  double rec_rps[2] = {0.0, 0.0};
+  for (const bool rec_on : {true, false}) {
+    serve::ServeConfig cfg;
+    cfg.max_subnet = c.subnets;
+    cfg.num_workers = c.workers;
+    cfg.max_batch = c.batch;
+    cfg.device = host;
+    cfg.flight.ring = rec_on ? 1024 : 0;
+    serve::Server server(net, cfg);
+    LoadStats s = closed_loop(server, inputs, c.clients, 0.0);
+    const double rps =
+        s.seconds > 0.0 ? static_cast<double>(s.completed) / s.seconds : 0.0;
+    rec_rps[rec_on ? 0 : 1] = rps;
+    std::printf("closed-loop recorder=%-3s %7.1f req/s\n", rec_on ? "on" : "off",
+                rps);
+    rows.push_back(
+        {rec_on ? "closed_loop_recorder_on" : "closed_loop_recorder_off",
+         std::move(s)});
+    server.shutdown();
+  }
+
+  // Idle per-event-site cost: with recording disabled every hook reduces to
+  // a null-handle check inside an out-of-line call. This is the price each
+  // instrumented code path pays when the recorder is off.
+  double idle_event_ns = 0.0;
+  {
+    obs::FlightRecorder::Config fcfg;
+    fcfg.ring = 0;
+    fcfg.retain_misses = 0;
+    fcfg.retain_stragglers = 0;
+    obs::FlightRecorder off(fcfg);
+    const obs::FlightHandle h =
+        off.begin(0, 0.0, 0.0, 0);  // null: recorder disabled
+    const long reps = bench_scale() == BenchScale::kQuick ? 2000000 : 20000000;
+    Timer t;
+    for (long i = 0; i < reps; ++i) {
+      off.event(h, obs::FlightEventKind::kStepEnd, 0.0, i, 0, 0);
+    }
+    idle_event_ns = t.milliseconds() * 1e6 / static_cast<double>(reps);
+    std::printf("flight idle event site: %.2f ns (%ld calls, recorder off)\n",
+                idle_event_ns, reps);
+  }
+
+  write_bench_json(rows, rec_rps[0], rec_rps[1], idle_event_ns);
   return 0;
 }
 
@@ -469,6 +573,44 @@ int run_smoke(const ServeBenchConfig& c, int port, bool send_shutdown) {
   }
   for (auto& t : threads) t.join();
 
+  // Forced deadline misses (ISSUE 8): hopeless deadlines make the planner
+  // clamp to level 1 and the first publish still lands late, so the flight
+  // recorder retains a postmortem per request — the anytime answer (and
+  // logits parity above) is unaffected. The kTimeline dump is then fetched
+  // over TCP and written for CI to json-validate.
+  int timeline_fail = 0;
+  {
+    try {
+      serve::TcpClient client(port);
+      for (int i = 0; i < 4; ++i) {
+        serve::WireReply reply;
+        if (!client.infer(inputs[static_cast<std::size_t>(i)], 1e-3, 0,
+                          reply) ||
+            reply.exit_subnet == 0) {
+          ++io_fail;
+        }
+      }
+      std::string tl;
+      if (!client.timeline(tl) ||
+          tl.find("\"postmortems\"") == std::string::npos) {
+        ++timeline_fail;
+      } else {
+        if (local != nullptr && tl.find("deadline_miss") == std::string::npos) {
+          ++timeline_fail;  // self-hosted: the forced misses must be retained
+        }
+        if (std::FILE* f = std::fopen("BENCH_timeline.json", "w")) {
+          std::fwrite(tl.data(), 1, tl.size(), f);
+          std::fputc('\n', f);
+          std::fclose(f);
+          std::printf("wrote BENCH_timeline.json (%zu bytes)\n", tl.size());
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "smoke timeline: %s\n", e.what());
+      ++timeline_fail;
+    }
+  }
+
   if (send_shutdown) {
     try {
       serve::TcpClient(port).shutdown_server();
@@ -480,12 +622,16 @@ int run_smoke(const ServeBenchConfig& c, int port, bool send_shutdown) {
   if (local) {
     local->shutdown();
     std::printf("%s", local->counters().to_string().c_str());
+    std::printf("%s\n", local->slo_summary().c_str());
+    std::printf("%s\n", local->flight_summary().c_str());
   }
 
   const int total = c.clients * per_client;
-  const bool ok = parity_fail.load() == 0 && io_fail.load() == 0;
-  std::printf("smoke: parity=%s requests=%d io_errors=%d miss_rate=%.2f\n",
-              ok ? "ok" : "FAIL", total, io_fail.load(),
+  const bool ok = parity_fail.load() == 0 && io_fail.load() == 0 &&
+                  timeline_fail == 0;
+  std::printf("smoke: parity=%s requests=%d io_errors=%d timeline_errors=%d "
+              "miss_rate=%.2f\n",
+              ok ? "ok" : "FAIL", total, io_fail.load(), timeline_fail,
               static_cast<double>(misses.load()) / total);
   return ok ? 0 : 1;
 }

@@ -36,6 +36,31 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+/// Minimal string escaping shared by the JSON and Prometheus label
+/// expositions (both quote with `"` and escape with `\`).
+std::string escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// `{"k":"v",...}` — the JSON rendering of an info metric's labels.
+std::string labels_json(const std::map<std::string, std::string>& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + escape_label(k) + "\":\"" + escape_label(v) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
 /// Shared quantile estimator over an arbitrary bucket-count vector (the
 /// cumulative state or a window delta). Linear interpolation inside the
 /// containing bucket, like Histogram::quantile always did.
@@ -148,6 +173,7 @@ Registry::Entry& Registry::find_or_create(const std::string& name, Kind kind) {
     case Kind::kCounter: e.counter = std::make_unique<Counter>(); break;
     case Kind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
     case Kind::kHistogram: e.histogram = std::make_unique<Histogram>(); break;
+    case Kind::kInfo: break;  // labels live in the Entry itself
   }
   return entries_.emplace(name, std::move(e)).first->second;
 }
@@ -162,6 +188,16 @@ Gauge& Registry::gauge(const std::string& name) {
 
 Histogram& Registry::histogram(const std::string& name) {
   return *find_or_create(name, Kind::kHistogram).histogram;
+}
+
+void Registry::set_info(const std::string& name,
+                        const std::map<std::string, std::string>& labels) {
+  Entry& e = find_or_create(name, Kind::kInfo);
+  // Entry references are stable (std::map nodes), so re-acquiring the mutex
+  // to write the labels is safe even if another thread registered metrics in
+  // between.
+  std::lock_guard<std::mutex> lock(mu_);
+  e.labels = labels;
 }
 
 std::string Registry::to_prometheus() const {
@@ -199,6 +235,19 @@ std::string Registry::to_prometheus() const {
         out += name + "_count " + std::to_string(e.histogram->count()) + "\n";
         break;
       }
+      case Kind::kInfo: {
+        // Prometheus info idiom: constant-1 gauge, identity in the labels.
+        out += "# TYPE " + name + " gauge\n";
+        out += name + "{";
+        bool lfirst = true;
+        for (const auto& [k, v] : e.labels) {
+          if (!lfirst) out += ",";
+          lfirst = false;
+          out += k + "=\"" + escape_label(v) + "\"";
+        }
+        out += "} 1\n";
+        break;
+      }
     }
   }
   return out;
@@ -225,6 +274,9 @@ std::string Registry::to_json() const {
                ",\"p50\":" + fmt_double(e.histogram->quantile(0.50)) +
                ",\"p95\":" + fmt_double(e.histogram->quantile(0.95)) +
                ",\"p99\":" + fmt_double(e.histogram->quantile(0.99)) + "}";
+        break;
+      case Kind::kInfo:
+        out += labels_json(e.labels);
         break;
     }
   }
@@ -259,6 +311,9 @@ std::string Registry::to_json_windowed(Window& w) const {
         w.base[name] = h.snapshot();
         break;
       }
+      case Kind::kInfo:
+        out += labels_json(e.labels);
+        break;
     }
   }
   out += "}";

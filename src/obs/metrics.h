@@ -114,6 +114,13 @@ class Registry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
+  /// Prometheus "info" idiom: a constant-1 gauge whose labels carry build /
+  /// deployment identity (fleet dashboards slice by them). JSON renders the
+  /// labels as a nested string object. Calling again with the same name
+  /// replaces the labels; registering the name as another kind throws.
+  void set_info(const std::string& name,
+                const std::map<std::string, std::string>& labels);
+
   /// Prometheus text exposition format (counters, gauges, cumulative
   /// histogram buckets + _sum/_count).
   std::string to_prometheus() const;
@@ -141,12 +148,13 @@ class Registry {
   static Registry& global();
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kInfo };
   struct Entry {
     Kind kind;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::map<std::string, std::string> labels;  ///< kInfo only
   };
   Entry& find_or_create(const std::string& name, Kind kind);
 

@@ -1,0 +1,72 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace stepping::obs {
+
+SloTracker::SloTracker() : SloTracker(Config()) {}
+
+SloTracker::SloTracker(Config cfg) : cfg_(cfg) {
+  cfg_.buckets = std::max(1, cfg_.buckets);
+  cfg_.window_sec = std::max(1e-3, cfg_.window_sec);
+  cfg_.objective = std::clamp(cfg_.objective, 0.0, 0.999999);
+  bucket_ms_ = cfg_.window_sec * 1e3 / cfg_.buckets;
+  buckets_ = std::vector<Bucket>(static_cast<std::size_t>(cfg_.buckets));
+}
+
+void SloTracker::record(double at_ms, bool miss) {
+  const std::int64_t id =
+      static_cast<std::int64_t>(std::floor(std::max(0.0, at_ms) / bucket_ms_));
+  Bucket& b = buckets_[static_cast<std::size_t>(
+      id % static_cast<std::int64_t>(buckets_.size()))];
+  std::int64_t cur = b.id.load(std::memory_order_relaxed);
+  if (cur != id) {
+    // The ring lapped this bucket: one CAS winner resets it for the new
+    // interval; losers (and the winner) then count into the fresh bucket.
+    if (b.id.compare_exchange_strong(cur, id, std::memory_order_acq_rel)) {
+      b.total.store(0, std::memory_order_relaxed);
+      b.missed.store(0, std::memory_order_relaxed);
+    } else if (cur != id) {
+      return;  // a concurrent record from a different interval won; drop
+    }
+  }
+  b.total.fetch_add(1, std::memory_order_relaxed);
+  if (miss) b.missed.fetch_add(1, std::memory_order_relaxed);
+}
+
+SloTracker::WindowStats SloTracker::window(double now_ms) const {
+  const std::int64_t now_id =
+      static_cast<std::int64_t>(std::floor(std::max(0.0, now_ms) / bucket_ms_));
+  const std::int64_t oldest =
+      now_id - static_cast<std::int64_t>(buckets_.size()) + 1;
+  WindowStats s;
+  for (const Bucket& b : buckets_) {
+    const std::int64_t id = b.id.load(std::memory_order_relaxed);
+    if (id < oldest || id > now_id) continue;  // stale or future-tagged
+    s.total += b.total.load(std::memory_order_relaxed);
+    s.missed += b.missed.load(std::memory_order_relaxed);
+  }
+  if (s.total > 0) {
+    const double miss_rate =
+        static_cast<double>(s.missed) / static_cast<double>(s.total);
+    s.hit_rate = 1.0 - miss_rate;
+    s.budget_burn = miss_rate / (1.0 - cfg_.objective);
+  }
+  return s;
+}
+
+std::string SloTracker::summary(double now_ms) const {
+  const WindowStats s = window(now_ms);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "slo: window=%.0fs completed=%llu misses=%llu "
+                "hit_rate=%.2f%% objective=%.2f%% budget_burn=%.2fx",
+                cfg_.window_sec, static_cast<unsigned long long>(s.total),
+                static_cast<unsigned long long>(s.missed), 100.0 * s.hit_rate,
+                100.0 * cfg_.objective, s.budget_burn);
+  return buf;
+}
+
+}  // namespace stepping::obs

@@ -1,0 +1,76 @@
+// Windowed SLO tracker (ISSUE 8): deadline-hit-rate and error-budget burn
+// over a sliding time window, lock-free on the record path.
+//
+// The window is a ring of fixed-width time buckets, each holding atomic
+// {total, missed} counts tagged with the absolute bucket index they cover.
+// record() hashes the caller-supplied monotonic timestamp to a bucket and
+// resets it first if the ring has lapped it (a CAS decides one resetter;
+// the reset itself is racy-by-design, like every Prometheus-style counter
+// here — an interleaved record may land in a just-reset bucket, which is
+// exactly where it belongs, or be lost, which observability tolerates).
+//
+// Times are milliseconds on whatever monotonic clock the caller uses
+// (serve::Server feeds its own Timer); the tracker never reads a clock
+// itself, so tests drive every edge case with synthetic timestamps.
+//
+// Error-budget burn: with objective h (e.g. 0.99 hit rate), the window's
+// burn rate is miss_rate / (1 - h) — burn 1.0 means the budget is being
+// consumed exactly as fast as it accrues, >1 means the SLO will be blown
+// if the window's behavior persists.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stepping::obs {
+
+class SloTracker {
+ public:
+  struct Config {
+    double window_sec = 60.0;  ///< sliding window covered by the buckets
+    int buckets = 60;          ///< time resolution of the window
+    double objective = 0.99;   ///< deadline-hit-rate objective in (0, 1)
+  };
+
+  SloTracker();  ///< default Config
+  explicit SloTracker(Config cfg);
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  const Config& config() const { return cfg_; }
+
+  /// Record one finished request at monotonic time `at_ms`.
+  void record(double at_ms, bool miss);
+
+  struct WindowStats {
+    std::uint64_t total = 0;
+    std::uint64_t missed = 0;
+    double hit_rate = 1.0;    ///< 1.0 on an empty window (no evidence of harm)
+    double budget_burn = 0.0; ///< miss_rate / (1 - objective); 0 when empty
+  };
+
+  /// Stats over the window ending at `now_ms` (buckets older than the
+  /// window are excluded even if not yet overwritten).
+  WindowStats window(double now_ms) const;
+
+  /// One-line human-readable summary, e.g.
+  ///   slo: window=60s completed=182 misses=3 hit_rate=98.35%
+  ///        objective=99.00% budget_burn=1.65x
+  std::string summary(double now_ms) const;
+
+ private:
+  struct Bucket {
+    std::atomic<std::int64_t> id{-1};  ///< absolute bucket index, -1 = empty
+    std::atomic<std::uint64_t> total{0};
+    std::atomic<std::uint64_t> missed{0};
+  };
+
+  Config cfg_;
+  double bucket_ms_ = 1000.0;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace stepping::obs

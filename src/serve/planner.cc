@@ -63,6 +63,21 @@ double Planner::step_ms(int from, int to, int batch) const {
   return dev_.latency_ms(costs_.step_macs(from, to) * batch);
 }
 
+double Planner::predicted_level_ms(int level, int batch,
+                                   LadderMode mode) const {
+  assert(level >= 1 && level <= max_level());
+  switch (mode) {
+    case LadderMode::kReuse:
+      return step_ms(level - 1, level, batch);
+    case LadderMode::kFromScratch:
+      return dev_.latency_ms(costs_.full[static_cast<std::size_t>(level - 1)] *
+                             batch);
+    case LadderMode::kInt8:
+      return int8_full_ms(level, batch);
+  }
+  return 0.0;
+}
+
 double Planner::ladder_ms(int level, int batch) const {
   double ms = 0.0;
   for (int l = 1; l <= level; ++l) ms += step_ms(l - 1, l, batch);

@@ -72,6 +72,18 @@ class Planner {
   /// `batch` inputs (the batch steps together; MACs scale linearly).
   double step_ms(int from, int to, int batch = 1) const;
 
+  /// Execution mode of one ladder pass, for cost prediction: incremental
+  /// reuse (the default fp32 ladder), from-scratch fp32 (the no-reuse
+  /// baseline), or from-scratch int8 (ISSUE 7 rungs).
+  enum class LadderMode { kReuse, kFromScratch, kInt8 };
+
+  /// Predicted wall-clock of the batched pass that brings the ladder to
+  /// `level` under `mode` — exactly the figure the server's planning is
+  /// built on. The flight recorder (ISSUE 8) stores this next to the
+  /// measured pass time, and the serve_plan_error_ratio histograms track
+  /// the actual/predicted ratio per level.
+  double predicted_level_ms(int level, int batch, LadderMode mode) const;
+
   /// Estimated wall-clock of the whole ladder 0 -> 1 -> ... -> level
   /// (each step pays the device's fixed per-pass overhead once).
   double ladder_ms(int level, int batch = 1) const;

@@ -69,7 +69,7 @@ bool decode_request(const std::vector<std::uint8_t>& payload,
   if (!get(payload, at, opcode)) return false;
   req.opcode = static_cast<Opcode>(opcode);
   if (req.opcode == Opcode::kShutdown || req.opcode == Opcode::kStats ||
-      req.opcode == Opcode::kStatsProm) {
+      req.opcode == Opcode::kStatsProm || req.opcode == Opcode::kTimeline) {
     return at == payload.size();
   }
   if (req.opcode != Opcode::kInfer) return false;

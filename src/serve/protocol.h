@@ -6,7 +6,8 @@
 // is performed; the fixed-width layout below is the contract.
 //
 // Request payload:
-//   u8  opcode            0 = infer, 1 = shutdown server, 2 = stats
+//   u8  opcode            0 = infer, 1 = shutdown server, 2 = stats,
+//                         3 = stats_prom, 4 = timeline
 //   f64 deadline_ms       relative deadline; <= 0 = none        (infer only)
 //   i64 mac_budget        per-request MAC budget; 0 = unlimited (infer only)
 //   u32 c, h, w           input image shape                     (infer only)
@@ -30,6 +31,11 @@
 // request (opcode 3, same opcode-only frame shape) is answered with the
 // Prometheus text exposition of the same registry
 // (serve::Server::metrics_prometheus()) — scrape-ready without a sidecar.
+//
+// A timeline request (opcode 4, opcode-only) is answered with the flight
+// recorder's postmortem JSON dump (serve::Server::postmortems_json()):
+// retained deadline-miss and worst-straggler records, each with its full
+// causal timeline and the planner's predicted-vs-actual per-level costs.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +50,7 @@ enum class Opcode : std::uint8_t {
   kShutdown = 1,
   kStats = 2,
   kStatsProm = 3,
+  kTimeline = 4,
 };
 
 /// Frames larger than this are rejected and the connection dropped

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight.h"
 #include "serve/result.h"
 
 namespace stepping::serve {
@@ -23,6 +24,7 @@ struct Job {
   double submit_ms = 0.0;       ///< admission time
   double deadline_abs_ms = 0.0; ///< absolute deadline; <= 0 means none
   std::int64_t mac_budget = 0;  ///< resolved budget; 0 = unlimited
+  obs::FlightHandle flight;     ///< flight-recorder slot (null: not recorded)
   std::function<void(const StepUpdate&)> on_step;
   std::promise<ServedResult> promise;
 };

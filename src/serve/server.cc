@@ -8,7 +8,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/build_info.h"
 #include "obs/trace.h"
+#include "tensor/gemm_isa.h"
 #include "tensor/ops.h"
 #include "util/env.h"
 #include "util/rng.h"
@@ -18,6 +20,11 @@ namespace stepping::serve {
 namespace {
 
 constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+/// Confidence as an integer for flight-event args (parts per million).
+std::int64_t conf_ppm(double top1) {
+  return static_cast<std::int64_t>(top1 * 1e6);
+}
 
 /// Static span names for the per-level ladder steps (span names must
 /// outlive the trace flush, so no on-the-fly strings).
@@ -79,7 +86,11 @@ int Server::default_workers() {
 }
 
 Server::Server(const Network& model, ServeConfig cfg)
-    : cfg_(std::move(cfg)), queue_(cfg_.queue_capacity) {
+    : cfg_(std::move(cfg)),
+      queue_(cfg_.queue_capacity),
+      flight_(cfg_.flight),
+      slo_(obs::SloTracker::Config{cfg_.slo_window_sec, 60,
+                                   cfg_.slo_objective}) {
   if (!model.wired()) {
     throw std::invalid_argument("serve::Server: model must be wired");
   }
@@ -158,6 +169,11 @@ Server::Server(const Network& model, ServeConfig cfg)
   m_.int8_passes = &registry_.counter("serve_int8_passes_total");
   m_.queue_depth = &registry_.gauge("serve_queue_depth");
   m_.peak_queue_depth = &registry_.gauge("serve_peak_queue_depth");
+  m_.slo_hit_rate_ppm = &registry_.gauge("serve_slo_hit_rate_ppm");
+  m_.slo_budget_burn_milli = &registry_.gauge("serve_slo_budget_burn_milli");
+  m_.flight_records = &registry_.gauge("serve_flight_records");
+  m_.flight_ring_drops = &registry_.gauge("serve_flight_ring_drops");
+  m_.flight_event_drops = &registry_.gauge("serve_flight_event_drops");
   m_.queue_ms = &registry_.histogram("serve_queue_ms");
   m_.first_result_ms = &registry_.histogram("serve_first_result_ms");
   m_.final_ms = &registry_.histogram("serve_final_ms");
@@ -169,7 +185,18 @@ Server::Server(const Network& model, ServeConfig cfg)
                                           std::to_string(l) + "_total"));
     m_.level_ms.push_back(
         &registry_.histogram("serve_level_ms_subnet_" + std::to_string(l)));
+    m_.plan_error.push_back(&registry_.histogram(
+        "serve_plan_error_ratio_subnet_" + std::to_string(l)));
   }
+
+  // Build / deployment identity (ISSUE 8): the stepping_build_info labeled
+  // gauge lets dashboards slice every other metric by version, git sha, ISA
+  // tier and precision mode.
+  isa_tier_int_ = static_cast<int>(isa_tier());
+  obs::register_build_info(registry_, isa_tier_name(isa_tier()),
+                           quant::precision_name(cfg_.precision));
+  // An empty SLO window reads as a perfect hit rate.
+  m_.slo_hit_rate_ppm->set(1000000);
 
   workers_.reserve(static_cast<std::size_t>(cfg_.num_workers));
   for (int w = 0; w < cfg_.num_workers; ++w) {
@@ -213,11 +240,20 @@ std::future<ServedResult> Server::submit(Request req) {
   job.mac_budget =
       req.mac_budget > 0 ? req.mac_budget : cfg_.default_mac_budget;
   job.on_step = std::move(req.on_step);
+  job.flight = flight_.begin(job.seq, job.submit_ms, job.deadline_abs_ms,
+                             job.mac_budget);
+  flight_.event(job.flight, obs::FlightEventKind::kEnqueue, job.submit_ms);
 
   m_.submitted->inc();
-  if (stopped_.load() || !queue_.push(std::move(job))) {
+  const bool was_stopped = stopped_.load();
+  if (was_stopped || !queue_.push(std::move(job))) {
     // push() leaves the job untouched on failure, so the promise is intact.
     m_.rejected->inc();
+    const obs::HaltReason why = was_stopped ? obs::HaltReason::kShutdown
+                                            : obs::HaltReason::kRejected;
+    flight_.event(job.flight, obs::FlightEventKind::kHalt, now_ms(),
+                  static_cast<std::int64_t>(why), 0);
+    flight_.finish(job.flight, 0, why, false, 0.0, 0.0, 0.0);
     job.promise.set_exception(std::make_exception_ptr(
         std::runtime_error("serve: queue full or server stopped")));
     return fut;
@@ -258,19 +294,45 @@ CounterSnapshot Server::counters() const {
   return snap;
 }
 
-std::string Server::metrics_json() const {
+void Server::refresh_gauges() const {
   m_.queue_depth->set(static_cast<std::int64_t>(queue_.depth()));
+  const obs::SloTracker::WindowStats s = slo_.window(clock_.milliseconds());
+  m_.slo_hit_rate_ppm->set(static_cast<std::int64_t>(s.hit_rate * 1e6));
+  m_.slo_budget_burn_milli->set(
+      static_cast<std::int64_t>(s.budget_burn * 1e3));
+  m_.flight_records->set(static_cast<std::int64_t>(flight_.records()));
+  m_.flight_ring_drops->set(static_cast<std::int64_t>(flight_.ring_dropped()));
+  m_.flight_event_drops->set(
+      static_cast<std::int64_t>(flight_.events_dropped()));
+}
+
+std::string Server::metrics_json() const {
+  refresh_gauges();
   return registry_.to_json();
 }
 
 std::string Server::metrics_json_windowed(obs::Registry::Window& w) const {
-  m_.queue_depth->set(static_cast<std::int64_t>(queue_.depth()));
+  refresh_gauges();
   return registry_.to_json_windowed(w);
 }
 
 std::string Server::metrics_prometheus() const {
-  m_.queue_depth->set(static_cast<std::int64_t>(queue_.depth()));
+  refresh_gauges();
   return registry_.to_prometheus();
+}
+
+std::string Server::flight_summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "flight: ring=%zu records=%llu drops=%llu event_drops=%llu "
+                "retained=%zu+%zu",
+                flight_.ring_size(),
+                static_cast<unsigned long long>(flight_.records()),
+                static_cast<unsigned long long>(flight_.ring_dropped()),
+                static_cast<unsigned long long>(flight_.events_dropped()),
+                flight_.retained_misses().size(),
+                flight_.retained_stragglers().size());
+  return buf;
 }
 
 void Server::worker_main(std::size_t worker_id) {
@@ -287,12 +349,12 @@ void Server::worker_main(std::size_t worker_id) {
     if (!got) break;
     obs::trace_counter("serve.queue_depth",
                        static_cast<std::int64_t>(queue_.depth()));
-    process_batch(net, ex, batch);
+    process_batch(net, ex, batch, worker_id);
   }
 }
 
 void Server::process_batch(Network& net, IncrementalExecutor& ex,
-                           std::vector<Job>& jobs) {
+                           std::vector<Job>& jobs, std::size_t worker_id) {
   obs::TraceScope batch_span("serve.batch", "serve");
   const int b = static_cast<int>(jobs.size());
   const int c = net.input_channels(), h = net.input_h(), w = net.input_w();
@@ -320,9 +382,11 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
     double confidence = 0.0;
     double first_ms = 0.0, final_ms = 0.0;
     bool missed = false;
+    obs::HaltReason halt = obs::HaltReason::kNone;
     Tensor logits;
     std::vector<StepUpdate> steps;
   };
+  const std::uint64_t batch_id = next_batch_id_.fetch_add(1);
   std::vector<Live> live(static_cast<std::size_t>(b));
   for (int j = 0; j < b; ++j) {
     Live& lv = live[static_cast<std::size_t>(j)];
@@ -334,6 +398,12 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
     // planner naturally steps the target down; even a hopeless deadline
     // still yields the smallest subnet (anytime: always answer something).
     lv.target = std::max(1, planner_->target_level(remaining, b));
+    flight_.event(jobs[j].flight, obs::FlightEventKind::kAdmit, start_ms,
+                  static_cast<std::int64_t>(worker_id));
+    flight_.event(jobs[j].flight, obs::FlightEventKind::kBatchJoin, start_ms,
+                  static_cast<std::int64_t>(batch_id), b);
+    flight_.set_batch(jobs[j].flight, batch_id, b, lv.target,
+                      static_cast<int>(cfg_.precision), isa_tier_int_);
   }
 
   ex.reset();
@@ -356,6 +426,8 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
     int prelim = 1;
     for (const Live& lv : live) prelim = std::max(prelim, lv.target);
     obs::TraceScope prelim_span("serve.int8_prelim", "serve");
+    const double prelim_start = now_ms();
+    const double prelim_predicted = planner_->int8_full_ms(prelim, b);
     SubnetContext ctx;
     ctx.subnet_id = prelim;
     ctx.num_subnets = cfg_.max_subnet;
@@ -370,6 +442,10 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
     batch_macs += prelim_img * b;
     m_.total_macs->inc(static_cast<std::uint64_t>(prelim_img * b));
     const double now = now_ms();
+    if (prelim_predicted > 0.0) {
+      m_.plan_error[static_cast<std::size_t>(prelim - 1)]->observe(
+          (now - prelim_start) / prelim_predicted);
+    }
     softmax_rows(y, probs);
     const int classes = y.dim(1);
     for (int j = 0; j < b; ++j) {
@@ -381,6 +457,12 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
       }
       lv.confidence = top1;
       lv.first_ms = now - jobs[j].submit_ms;
+      flight_.event(jobs[j].flight, obs::FlightEventKind::kStepStart,
+                    prelim_start, prelim, 1, isa_tier_int_);
+      flight_.event(jobs[j].flight, obs::FlightEventKind::kStepEnd, now,
+                    prelim, prelim_img, conf_ppm(top1));
+      flight_.event(jobs[j].flight, obs::FlightEventKind::kPrelimPublish, now,
+                    prelim, conf_ppm(top1));
       StepUpdate update;
       update.subnet = prelim;
       update.at_ms = lv.first_ms;
@@ -421,6 +503,18 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
     top_level = level;
     batch_macs += step_img * active;
     const double now = now_ms();
+    // Planner prediction error (ISSUE 8): the measured batched pass against
+    // the exact figure planning was built on, per level and ladder mode.
+    const double pass_ms = now - level_start;
+    const Planner::LadderMode mode =
+        int8_ladder ? Planner::LadderMode::kInt8
+        : cfg_.reuse ? Planner::LadderMode::kReuse
+                     : Planner::LadderMode::kFromScratch;
+    const double predicted_ms = planner_->predicted_level_ms(level, b, mode);
+    if (predicted_ms > 0.0) {
+      m_.plan_error[static_cast<std::size_t>(level - 1)]->observe(pass_ms /
+                                                                  predicted_ms);
+    }
     softmax_rows(y, probs);
     m_.step_passes[static_cast<std::size_t>(level - 1)]->inc();
     m_.total_macs->inc(static_cast<std::uint64_t>(step_img * active));
@@ -445,9 +539,16 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
         top1 = std::max(top1, static_cast<double>(probs.at(j, k)));
       }
       lv.confidence = top1;
+      flight_.event(jobs[j].flight, obs::FlightEventKind::kStepStart,
+                    level_start, level, int8_ladder ? 1 : 0, isa_tier_int_);
+      flight_.event(jobs[j].flight, obs::FlightEventKind::kStepEnd, now, level,
+                    step_img, conf_ppm(top1));
+      flight_.set_level(jobs[j].flight, level, predicted_ms, pass_ms, step_img);
       // An auto-mode int8 preliminary already answered first.
       if (level == 1 && lv.first_ms == 0.0) {
         lv.first_ms = now - jobs[j].submit_ms;
+        flight_.event(jobs[j].flight, obs::FlightEventKind::kPrelimPublish,
+                      now, level, conf_ppm(top1));
       }
 
       const double remaining = jobs[j].deadline_abs_ms > 0.0
@@ -457,14 +558,35 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
       // not as the "unlimited" (-1) sentinel.
       const std::int64_t rem_budget =
           lv.budget < 0 ? -1 : std::max<std::int64_t>(0, lv.budget - lv.macs);
-      bool stop = level >= cfg_.max_subnet || level >= lv.target;
+      // The stop decision, with its reason attributed for the flight record
+      // (same predicates as before ISSUE 8, evaluated in the same order).
+      bool stop = false;
+      obs::HaltReason why = obs::HaltReason::kNone;
+      if (level >= cfg_.max_subnet) {
+        stop = true;
+        why = obs::HaltReason::kMaxLevel;
+      } else if (level >= lv.target) {
+        stop = true;
+        // The planner only plans a target below the ladder top when the
+        // deadline slack capped it, so reaching such a target IS the
+        // deadline's doing; kTarget covers explicitly-capped plans.
+        why = jobs[j].deadline_abs_ms > 0.0 && lv.target < cfg_.max_subnet
+                  ? obs::HaltReason::kDeadline
+                  : obs::HaltReason::kTarget;
+      }
       if (!stop && cfg_.confidence_threshold > 0.0 &&
           top1 >= cfg_.confidence_threshold) {
         stop = true;
+        why = obs::HaltReason::kConfidence;
       }
       if (!stop &&
           !planner_->step_fits(level, level + 1, remaining, rem_budget, b)) {
         stop = true;
+        // Disambiguate: step_fits rejects for budget or for time.
+        why = rem_budget >= 0 &&
+                      planner_->costs().step_macs(level, level + 1) > rem_budget
+                  ? obs::HaltReason::kBudget
+                  : obs::HaltReason::kDeadline;
       }
 
       StepUpdate update;
@@ -481,7 +603,10 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
         lv.active = false;
         --active;
         lv.exit_level = level;
+        lv.halt = why;
         lv.final_ms = now - jobs[j].submit_ms;
+        flight_.event(jobs[j].flight, obs::FlightEventKind::kHalt, now,
+                      static_cast<std::int64_t>(why), level);
         Tensor row({1, classes});
         std::memcpy(row.data(),
                     y.data() + static_cast<std::size_t>(j) * classes,
@@ -519,6 +644,7 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
   m_.batch_ms->observe(now_ms() - start_ms);
 
   STEPPING_TRACE_SCOPE_CAT("serve", "serve.publish");
+  const double publish_ms = now_ms();
   for (int j = 0; j < b; ++j) {
     Live& lv = live[static_cast<std::size_t>(j)];
     ServedResult res;
@@ -533,6 +659,11 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
     m_.queue_ms->observe(res.queue_ms);
     m_.first_result_ms->observe(res.first_result_ms);
     m_.final_ms->observe(res.final_ms);
+    slo_.record(publish_ms, lv.missed);
+    flight_.event(jobs[j].flight, obs::FlightEventKind::kFinalPublish,
+                  publish_ms, lv.exit_level, lv.missed ? 1 : 0);
+    flight_.finish(jobs[j].flight, lv.exit_level, lv.halt, lv.missed,
+                   res.queue_ms, lv.first_ms, lv.final_ms);
     res.steps = std::move(lv.steps);
     jobs[j].promise.set_value(std::move(res));
   }

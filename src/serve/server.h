@@ -40,6 +40,17 @@
 // assembled from the same registry handles. The serve path is additionally
 // instrumented with trace spans (serve.queue_wait / serve.form /
 // serve.step.L / serve.publish) and a serve.queue_depth counter track.
+//
+// Flight recorder (ISSUE 8): every request additionally gets a slot in an
+// always-on lock-free ring (obs/flight.h) holding its full causal timeline
+// — enqueue, admit, batch-join, per-level step start/end with the planner's
+// predicted cost next to the measured one, preliminary publish, halt (with
+// the attributed reason), final publish. Deadline misses and worst-N
+// stragglers are retained for postmortems (postmortems_json(), the
+// kTimeline TCP opcode, `steppingnet serve --postmortem-dump`). A windowed
+// SLO tracker (obs/slo.h) and per-level plan-error histograms ride the same
+// hooks. All of it is observation-only: served results are bitwise
+// identical with the recorder on or off.
 #pragma once
 
 #include <atomic>
@@ -53,7 +64,9 @@
 #include "core/incremental.h"
 #include "core/latency.h"
 #include "nn/network.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "quant/calibration.h"
 #include "quant/policy.h"
 #include "serve/planner.h"
@@ -104,6 +117,14 @@ struct ServeConfig {
   /// inputs (fine for latency work; pass a table calibrated on real data
   /// for accuracy-sensitive serving).
   std::shared_ptr<const quant::CalibrationTable> calibration;
+  /// Flight-recorder knobs (ISSUE 8). Defaults resolve from the
+  /// STEPPING_FLIGHT_RING / _RETAIN / _STRAGGLERS env vars; set ring = 0 to
+  /// disable recording entirely.
+  obs::FlightRecorder::Config flight;
+  /// SLO tracker (ISSUE 8): deadline-hit-rate objective and the sliding
+  /// window it is evaluated over.
+  double slo_objective = 0.99;
+  double slo_window_sec = 60.0;
 };
 
 /// Legacy aggregate view, assembled from the server's metrics registry.
@@ -169,6 +190,25 @@ class Server {
   const Planner& planner() const { return *planner_; }
   const ServeConfig& config() const { return cfg_; }
 
+  /// The per-request flight recorder (ISSUE 8). Always on unless configured
+  /// off; observation-only — served results are bitwise identical either way.
+  const obs::FlightRecorder& flight() const { return flight_; }
+
+  /// The windowed deadline-SLO tracker.
+  const obs::SloTracker& slo() const { return slo_; }
+
+  /// Flight-recorder postmortem dump: retained deadline misses and worst
+  /// stragglers with full causal timelines and predicted-vs-actual per-level
+  /// costs. The kTimeline TCP frame carries exactly these bytes.
+  std::string postmortems_json() const { return flight_.postmortems_json(); }
+
+  /// One-line SLO summary over the current window (CLI shutdown line).
+  std::string slo_summary() const { return slo_.summary(now_ms()); }
+
+  /// One-line flight-recorder health summary, e.g.
+  ///   flight: ring=1024 records=96 drops=0 event_drops=0 retained=3+8
+  std::string flight_summary() const;
+
   /// Milliseconds since the server started (the clock jobs are stamped
   /// with); exposed so callers can convert ServedResult times.
   double now_ms() const { return clock_.milliseconds(); }
@@ -182,7 +222,10 @@ class Server {
  private:
   void worker_main(std::size_t worker_id);
   void process_batch(Network& net, IncrementalExecutor& ex,
-                     std::vector<Job>& jobs);
+                     std::vector<Job>& jobs, std::size_t worker_id);
+  /// Refresh the exposition-time gauges (queue depth, SLO window, flight
+  /// counters) before a registry snapshot.
+  void refresh_gauges() const;
 
   ServeConfig cfg_;
   std::unique_ptr<Planner> planner_;
@@ -195,7 +238,12 @@ class Server {
   Timer clock_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> next_batch_id_{0};
   std::atomic<bool> stopped_{false};
+
+  obs::FlightRecorder flight_;
+  obs::SloTracker slo_;
+  int isa_tier_int_ = 0;  ///< cached tensor ISA tier, stamped into records
 
   mutable obs::Registry registry_;
   /// Handles into registry_, resolved once in the constructor so the hot
@@ -212,6 +260,16 @@ class Server {
     obs::Counter* int8_passes = nullptr;  ///< int8 forwards (prelim or rung)
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* peak_queue_depth = nullptr;
+    /// SLO window gauges, refreshed at exposition time: hit rate in parts
+    /// per million and error-budget burn in thousandths (gauges are
+    /// integral; 1000 = burning exactly at budget).
+    obs::Gauge* slo_hit_rate_ppm = nullptr;
+    obs::Gauge* slo_budget_burn_milli = nullptr;
+    /// Flight-recorder health, mirrored from the recorder's own atomics at
+    /// exposition time.
+    obs::Gauge* flight_records = nullptr;
+    obs::Gauge* flight_ring_drops = nullptr;
+    obs::Gauge* flight_event_drops = nullptr;
     std::vector<obs::Counter*> step_passes;  ///< per subnet level
     std::vector<obs::Counter*> exits;        ///< per subnet level
     obs::Histogram* queue_ms = nullptr;
@@ -219,6 +277,9 @@ class Server {
     obs::Histogram* final_ms = nullptr;
     obs::Histogram* batch_ms = nullptr;
     std::vector<obs::Histogram*> level_ms;   ///< per subnet level
+    /// Planner prediction error per level: measured pass wall-clock divided
+    /// by the planner's prediction (1.0 = perfect; > 1 under-predicted).
+    std::vector<obs::Histogram*> plan_error;
   } m_;
 };
 

@@ -90,10 +90,13 @@ void TcpServer::handle_connection(int fd) {
       stop();
       break;
     }
-    if (req.opcode == Opcode::kStats || req.opcode == Opcode::kStatsProm) {
+    if (req.opcode == Opcode::kStats || req.opcode == Opcode::kStatsProm ||
+        req.opcode == Opcode::kTimeline) {
       const std::string text = req.opcode == Opcode::kStats
                                    ? server_.metrics_json()
-                                   : server_.metrics_prometheus();
+                               : req.opcode == Opcode::kStatsProm
+                                   ? server_.metrics_prometheus()
+                                   : server_.postmortems_json();
       if (!write_frame(fd, std::vector<std::uint8_t>(text.begin(),
                                                      text.end()))) {
         break;
@@ -187,6 +190,16 @@ bool TcpClient::stats_prometheus(std::string& text_out) {
   std::vector<std::uint8_t> payload;
   if (!read_frame(fd_, payload) || payload.empty()) return false;
   text_out.assign(payload.begin(), payload.end());
+  return true;
+}
+
+bool TcpClient::timeline(std::string& json_out) {
+  WireRequest req;
+  req.opcode = Opcode::kTimeline;
+  if (!write_frame(fd_, encode_request(req))) return false;
+  std::vector<std::uint8_t> payload;
+  if (!read_frame(fd_, payload) || payload.empty()) return false;
+  json_out.assign(payload.begin(), payload.end());
   return true;
 }
 

@@ -74,6 +74,11 @@ class TcpClient {
   /// `text_out` with serve::Server::metrics_prometheus().
   bool stats_prometheus(std::string& text_out);
 
+  /// Fetch the flight recorder's postmortem dump (kTimeline): deadline
+  /// misses and worst stragglers with their full causal timelines, as
+  /// serve::Server::postmortems_json() bytes.
+  bool timeline(std::string& json_out);
+
  private:
   int fd_ = -1;
 };

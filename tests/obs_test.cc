@@ -213,6 +213,42 @@ TEST(ObsRegistry, PrometheusExposition) {
   EXPECT_NE(text.find("lat_ms_sum 3"), std::string::npos);
 }
 
+TEST(ObsRegistry, InfoMetricRendersLabelsInBothExpositions) {
+  Registry r;
+  r.set_info("build_info", {{"version", "0.8.0"}, {"git_sha", "abc1234"}});
+  const std::string text = r.to_prometheus();
+  // The Prometheus info idiom: a constant-1 gauge with identity labels,
+  // rendered in sorted label order.
+  EXPECT_NE(
+      text.find("# TYPE build_info gauge\n"
+                "build_info{git_sha=\"abc1234\",version=\"0.8.0\"} 1\n"),
+      std::string::npos)
+      << text;
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"build_info\":{\"git_sha\":\"abc1234\","
+                      "\"version\":\"0.8.0\"}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(ObsRegistry, InfoMetricReplacesLabelsAndEscapesQuotes) {
+  Registry r;
+  r.set_info("info", {{"a", "one"}});
+  r.set_info("info", {{"isa", "x\"y\\z"}});  // replaces, not merges
+  const std::string text = r.to_prometheus();
+  EXPECT_EQ(text.find("a=\"one\""), std::string::npos);
+  EXPECT_NE(text.find("info{isa=\"x\\\"y\\\\z\"} 1"), std::string::npos)
+      << text;
+}
+
+TEST(ObsRegistry, InfoMetricNameCollisionWithOtherKindThrows) {
+  Registry r;
+  r.counter("taken").inc();
+  EXPECT_THROW(r.set_info("taken", {{"k", "v"}}), std::logic_error);
+  r.set_info("ident", {{"k", "v"}});
+  EXPECT_THROW(r.gauge("ident"), std::logic_error);
+}
+
 TEST(ObsRegistry, GlobalIsSingleton) {
   EXPECT_EQ(&Registry::global(), &Registry::global());
 }

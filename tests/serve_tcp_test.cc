@@ -242,6 +242,52 @@ TEST(ServeTcp, StatsPromOpcodeReturnsPrometheusExposition) {
   server.shutdown();
 }
 
+TEST(ServeTcp, TimelineOpcodeReturnsPostmortemBytes) {
+  Network net = nested_net();
+  ServeConfig cfg;
+  cfg.max_subnet = 3;
+  cfg.num_workers = 1;
+  cfg.flight.ring = 32;
+  cfg.flight.retain_misses = 8;
+  cfg.flight.retain_stragglers = 4;
+  Server server(net, cfg);
+  TcpServer tcp(server, /*port=*/0);
+  ASSERT_GT(tcp.port(), 0);
+  std::thread loop([&] { tcp.run(); });
+
+  {
+    TcpClient client(tcp.port());
+    // A fresh server: valid dump, no postmortems yet.
+    std::string idle;
+    ASSERT_TRUE(client.timeline(idle));
+    EXPECT_EQ(idle, server.postmortems_json());
+    EXPECT_NE(idle.find("\"postmortems\":[]"), std::string::npos);
+
+    // Force a deterministic deadline miss, then fetch its postmortem.
+    WireReply reply;
+    ASSERT_TRUE(client.infer(random_input(9), /*deadline_ms=*/1e-3,
+                             /*mac_budget=*/0, reply));
+    EXPECT_EQ(reply.deadline_missed, 1);
+    std::string busy;
+    ASSERT_TRUE(client.timeline(busy));
+    // The kTimeline frame carries exactly the in-process rendering's bytes.
+    EXPECT_EQ(busy, server.postmortems_json());
+    EXPECT_NE(busy.find("\"kind\":\"deadline_miss\""), std::string::npos);
+    EXPECT_NE(busy.find("\"event\":\"final_publish\""), std::string::npos);
+    // Timeline and stats opcodes stay independently routable.
+    std::string json;
+    ASSERT_TRUE(client.stats(json));
+    EXPECT_EQ(json, server.metrics_json());
+  }
+
+  {
+    TcpClient client(tcp.port());
+    EXPECT_TRUE(client.shutdown_server());
+  }
+  loop.join();
+  server.shutdown();
+}
+
 TEST(ServeTcp, StopUnblocksRunWithoutClients) {
   Network net = nested_net();
   ServeConfig cfg;

@@ -78,11 +78,18 @@ serve:
   --mac-budget M      default per-request MAC budget, 0 = unlimited
   --no-reuse          disable incremental reuse (baseline mode)
   --metrics-dump-sec N  print a metrics JSON snapshot every N seconds
-                        (a final snapshot always prints on shutdown)
+                        (the last partial window flushes on shutdown, then a
+                        final cumulative snapshot prints)
+  --slo-objective H     deadline-hit-rate objective in (0,1) (default 0.99)
+  --postmortem-dump PATH  on shutdown, write the flight recorder's postmortem
+                          JSON (deadline misses + worst stragglers, each with
+                          its causal timeline and predicted-vs-actual
+                          per-level costs) to PATH
 
 observability (env): STEPPING_TRACE=<path> writes a Chrome/Perfetto trace
 (STEPPING_TRACE_FLUSH_SEC=N rewrites it every N seconds while running),
-STEPPING_LOG=<level> controls diagnostics; see the README env-var table.
+STEPPING_LOG=<level> controls diagnostics, STEPPING_FLIGHT_RING sizes the
+per-request flight recorder (0 disables); see the README env-var table.
 )";
 
 struct CommonConfig {
@@ -343,6 +350,7 @@ int cmd_serve(const CliArgs& args) {
   cfg.default_mac_budget = args.get_int("mac-budget", 0);
   cfg.default_deadline_ms = args.get_double("deadline-ms", 0.0);
   cfg.reuse = !args.has("no-reuse");
+  cfg.slo_objective = args.get_double("slo-objective", 0.99);
   cfg.device = calibrate_device(net, c.subnets);
   if (!cli_precision(args, &cfg.precision)) return 2;
   if (cfg.precision != quant::Precision::kFp32) {
@@ -378,10 +386,13 @@ int cmd_serve(const CliArgs& args) {
   std::mutex dump_mu;
   std::condition_variable dump_cv;
   bool dump_stop = false;
+  // Shared with the final flush below: whatever accumulated since the last
+  // periodic dump is printed on shutdown instead of being discarded (the
+  // dumper thread is joined before the flush, so no concurrent use).
+  obs::Registry::Window window;
   std::thread dumper;
   if (dump_sec > 0) {
     dumper = std::thread([&] {
-      obs::Registry::Window window;
       std::unique_lock<std::mutex> lock(dump_mu);
       for (;;) {
         if (dump_cv.wait_for(lock, std::chrono::seconds(dump_sec),
@@ -406,8 +417,29 @@ int cmd_serve(const CliArgs& args) {
     dumper.join();
   }
   server.shutdown();
+  if (dump_sec > 0) {
+    // Flush the last partial window before the cumulative snapshot.
+    std::printf("metrics %s\n", server.metrics_json_windowed(window).c_str());
+  }
   std::printf("%s", server.counters().to_string().c_str());
+  std::printf("%s\n", server.slo_summary().c_str());
+  std::printf("%s\n", server.flight_summary().c_str());
   std::printf("metrics %s\n", server.metrics_json().c_str());
+
+  const std::string pm_path = args.get("postmortem-dump", "");
+  if (!pm_path.empty()) {
+    const std::string json = server.postmortems_json();
+    std::FILE* f = std::fopen(pm_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "serve: cannot write postmortem dump to %s\n",
+                   pm_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("postmortems written to %s\n", pm_path.c_str());
+  }
   return 0;
 }
 
@@ -420,7 +452,7 @@ int main(int argc, char** argv) {
       "in",      "distill-epochs", "train-per-class", "seed",
       "deadline-ms", "port",       "workers",         "batch",
       "confidence",  "mac-budget", "no-reuse",        "metrics-dump-sec",
-      "precision"};
+      "precision",   "slo-objective", "postmortem-dump"};
   CliArgs args(argc, argv, known);
   if (!args.ok()) {
     for (const auto& e : args.errors()) std::fprintf(stderr, "%s\n", e.c_str());
