@@ -126,6 +126,7 @@ struct LoadStats {
   double seconds = 0.0;
   std::vector<double> latency_ms;  ///< submit -> final result
   std::uint64_t misses = 0;
+  std::uint64_t rejected = 0;  ///< futures failing (queue-full / admission)
   std::int64_t total_macs = 0;
   double exit_sum = 0.0;
   std::size_t completed = 0;
@@ -159,9 +160,12 @@ struct LoadStats {
 };
 
 /// One finished load run, labelled for the BENCH_serve.json report.
+/// `occupancy` is serve_pass_rows_total / serve_passes_total for that run's
+/// server (mean live rows per ladder pass); 0 when it wasn't sampled.
 struct BenchRow {
   std::string label;
   LoadStats stats;
+  double occupancy = 0.0;
 };
 
 void write_bench_json(const std::vector<BenchRow>& rows, double rec_on_rps,
@@ -175,7 +179,8 @@ void write_bench_json(const std::vector<BenchRow>& rows, double rec_on_rps,
         f,
         "    {\"label\": \"%s\", \"requests\": %zu, \"req_per_s\": %.2f, "
         "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
-        "\"miss_rate\": %.4f, \"mean_exit\": %.3f, \"macs_per_req\": %.0f}%s\n",
+        "\"miss_rate\": %.4f, \"mean_exit\": %.3f, \"macs_per_req\": %.0f, "
+        "\"occupancy\": %.3f, \"rejected\": %llu}%s\n",
         rows[i].label.c_str(), s.completed,
         s.seconds > 0.0 ? static_cast<double>(s.completed) / s.seconds : 0.0,
         percentile(s.latency_ms, 0.50), percentile(s.latency_ms, 0.95),
@@ -184,7 +189,9 @@ void write_bench_json(const std::vector<BenchRow>& rows, double rec_on_rps,
                           static_cast<double>(s.completed)
                     : 0.0,
         s.completed ? s.exit_sum / static_cast<double>(s.completed) : 0.0,
-        s.macs_per_req(), i + 1 < rows.size() ? "," : "");
+        s.macs_per_req(), rows[i].occupancy,
+        static_cast<unsigned long long>(s.rejected),
+        i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f,
                "  ],\n  \"flight_overhead\": {\"recorder_on_req_per_s\": "
@@ -254,8 +261,9 @@ LoadStats open_loop(serve::Server& server, const std::vector<Tensor>& inputs,
     try {
       all.add(f.get());
     } catch (const std::exception&) {
-      // queue-full rejection counts as neither completion nor miss here;
-      // the server's own `rejected` counter tracks it.
+      // Queue-full / admission rejection: neither a completion nor a miss —
+      // tallied separately (the server's own counters agree).
+      ++all.rejected;
     }
   }
   all.seconds = timer.seconds();
@@ -291,12 +299,14 @@ int run_load(const ServeBenchConfig& c) {
   };
   std::vector<BenchRow> rows;
   double min_thr = 0.0;
+  double capacity = 0.0;  ///< closed-loop reuse throughput (req/s)
   for (const bool reuse : {true, false}) {
     auto server = make_server(reuse);
     LoadStats closed = closed_loop(*server, inputs, c.clients, 0.0);
     closed.print(reuse ? "closed-loop reuse" : "closed-loop no-reuse");
     const double thr =
         static_cast<double>(closed.completed) / closed.seconds;
+    if (reuse) capacity = thr;
     min_thr = min_thr == 0.0 ? thr : std::min(min_thr, thr);
     rows.push_back(
         {reuse ? "closed_loop_reuse" : "closed_loop_no_reuse", std::move(closed)});
@@ -383,6 +393,130 @@ int run_load(const ServeBenchConfig& c) {
     std::printf("%s\n", server.slo_summary().c_str());
     std::printf("%s\n", server.flight_summary().c_str());
     rows.push_back({"open_loop_tight_deadline", std::move(open)});
+  }
+
+  // Overload sweep (ISSUE 9): open loop at 1.25x / 1.5x / 2x the closed-loop
+  // reuse capacity with a mid-ladder deadline, re-formation on vs off at
+  // IDENTICAL offered load. In this regime requests still climb 2-3 ladder
+  // levels, so batches genuinely shed early-halting rows: without
+  // re-formation the remaining survivors step in part-empty passes, with it
+  // they re-merge (with each other and with fresh admissions) into full
+  // batches. Occupancy = serve_pass_rows_total / serve_passes_total (mean
+  // live rows per executed pass). The sweep cycles the input set 4x so each
+  // run is long enough for queueing effects to dominate scheduling noise.
+  std::vector<Tensor> sweep_inputs;
+  sweep_inputs.reserve(inputs.size() * 4);
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const Tensor& x : inputs) sweep_inputs.push_back(x);
+  }
+  {
+    for (const double mult : {1.25, 1.5, 2.0}) {
+      for (const int reform : {1, 0}) {
+        serve::ServeConfig cfg;
+        cfg.max_subnet = c.subnets;
+        cfg.num_workers = c.workers;
+        cfg.max_batch = c.batch;
+        cfg.device = host;
+        cfg.reform = reform;
+        serve::Server server(net, cfg);
+        const double tight =
+            server.planner().ladder_ms((c.subnets + 1) / 2, c.batch);
+        LoadStats open =
+            open_loop(server, sweep_inputs, mult * capacity, tight);
+        server.shutdown();
+        const double occupancy = server.counters().pass_occupancy();
+        char label[64];
+        std::snprintf(label, sizeof(label), "overload %.2fx reform=%s", mult,
+                      reform ? "on" : "off");
+        open.print(label);
+        std::printf("%-24s occupancy=%.2f rows/pass\n", "", occupancy);
+        char jlabel[64];
+        std::snprintf(jlabel, sizeof(jlabel), "overload_%.2fx_reform_%s", mult,
+                      reform ? "on" : "off");
+        rows.push_back({jlabel, std::move(open), occupancy});
+      }
+    }
+  }
+
+  // Occupancy probe (ISSUE 9): every request submitted at once (deep queue,
+  // no deadlines, so the run-queue's urgency override never fires) with
+  // per-request MAC budgets spreading the exits over 1..subnets. Rows
+  // therefore halt at different levels: the legacy path steps each batch's
+  // survivors with the halted rows riding along as dead weight, re-formation
+  // re-packs survivors of different batches into full same-level passes —
+  // higher pass occupancy and higher throughput on identical work.
+  {
+    for (const int reform : {1, 0}) {
+      serve::ServeConfig cfg;
+      cfg.max_subnet = c.subnets;
+      cfg.num_workers = c.workers;
+      cfg.max_batch = c.batch;
+      cfg.device = host;
+      cfg.reform = reform;
+      cfg.queue_capacity = sweep_inputs.size() + 16;
+      serve::Server server(net, cfg);
+      const serve::LevelCosts& costs = server.planner().costs();
+      std::vector<std::future<serve::ServedResult>> futures;
+      futures.reserve(sweep_inputs.size());
+      Timer timer;
+      for (std::size_t i = 0; i < sweep_inputs.size(); ++i) {
+        serve::Request req;
+        req.input = sweep_inputs[i];
+        req.mac_budget = costs.stepped_macs_through(
+            1 + static_cast<int>(i) % c.subnets);
+        futures.push_back(server.submit(std::move(req)));
+      }
+      LoadStats s;
+      for (auto& f : futures) s.add(f.get());
+      s.seconds = timer.seconds();
+      server.shutdown();
+      const double occupancy = server.counters().pass_occupancy();
+      s.print(reform ? "occupancy probe on" : "occupancy probe off");
+      std::printf("%-24s occupancy=%.2f rows/pass\n", "", occupancy);
+      rows.push_back({reform ? "occupancy_probe_reform_on"
+                             : "occupancy_probe_reform_off",
+                      std::move(s), occupancy});
+    }
+  }
+
+  // Predictive admission under 2x overload (re-formation on): `off` admits
+  // everything and eats the misses, `reject` refuses requests whose
+  // predicted queue wait leaves no reachable subnet (fail-fast, the future
+  // throws), `degrade` admits them at a reduced target level instead.
+  {
+    const serve::AdmitPolicy policies[3] = {serve::AdmitPolicy::kOff,
+                                            serve::AdmitPolicy::kReject,
+                                            serve::AdmitPolicy::kDegrade};
+    for (const serve::AdmitPolicy p : policies) {
+      serve::ServeConfig cfg;
+      cfg.max_subnet = c.subnets;
+      cfg.num_workers = c.workers;
+      cfg.max_batch = c.batch;
+      cfg.device = host;
+      cfg.reform = 1;
+      cfg.admit = p;
+      serve::Server server(net, cfg);
+      const double tight =
+          server.planner().ladder_ms((c.subnets + 1) / 2, c.batch);
+      LoadStats open = open_loop(server, sweep_inputs, 2.0 * capacity, tight);
+      server.shutdown();
+      const serve::CounterSnapshot snap = server.counters();
+      char label[64];
+      std::snprintf(label, sizeof(label), "overload 2.0x admit=%s",
+                    serve::admit_policy_name(p));
+      open.print(label);
+      std::printf(
+          "%-24s occupancy=%.2f rows/pass  admitted=%llu degraded=%llu "
+          "rejected=%llu\n",
+          "", snap.pass_occupancy(),
+          static_cast<unsigned long long>(snap.admit_accepted),
+          static_cast<unsigned long long>(snap.admit_degraded),
+          static_cast<unsigned long long>(snap.admit_rejected));
+      char jlabel[64];
+      std::snprintf(jlabel, sizeof(jlabel), "overload_2.0x_admit_%s",
+                    serve::admit_policy_name(p));
+      rows.push_back({jlabel, std::move(open), snap.pass_occupancy()});
+    }
   }
 
   // Flight-recorder overhead (ISSUE 8): the same closed-loop load with the

@@ -46,6 +46,32 @@ std::uint64_t fnv1a_bytes(const Tensor& x) {
 
 }  // namespace
 
+Tensor ladder_step(Network& net, const Tensor& x,
+                   std::vector<Tensor>& layer_outputs, int from, int to) {
+  assert(to >= 1 && from >= 0 && from < to);
+  SubnetContext ctx;
+  ctx.subnet_id = to;
+  ctx.training = false;
+
+  const auto& layers = net.layers();
+  layer_outputs.resize(layers.size());
+  Tensor cur = x;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    Tensor out = from == 0
+                     ? layers[i]->forward(cur, ctx)
+                     : layers[i]->forward_step(cur, layer_outputs[i], from, ctx);
+    layer_outputs[i] = out;
+    cur = std::move(out);
+  }
+  return cur;
+}
+
+std::int64_t ladder_step_macs(Network& net, int from, int to) {
+  std::int64_t total = 0;
+  for (MaskedLayer* m : net.masked_layers()) total += step_macs(*m, from, to);
+  return total;
+}
+
 IncrementalExecutor::IncrementalExecutor(Network& net) : net_(net) {
   layer_outputs_.resize(net_.layers().size());
 }
@@ -85,27 +111,14 @@ Tensor IncrementalExecutor::run(const Tensor& x, int subnet_id) {
   }
   const int from = cached_subnet_;
 
-  SubnetContext ctx;
-  ctx.subnet_id = subnet_id;
-  ctx.training = false;
-
   // Analytic MAC accounting for this step vs a from-scratch evaluation.
-  last_step_macs_ = 0;
+  last_step_macs_ = ladder_step_macs(net_, from, subnet_id);
   last_full_macs_ = 0;
   for (MaskedLayer* m : net_.masked_layers()) {
-    last_step_macs_ += step_macs(*m, from, subnet_id);
     last_full_macs_ += m->subnet_macs(subnet_id);
   }
 
-  Tensor cur = x;
-  const auto& layers = net_.layers();
-  for (std::size_t i = 0; i < layers.size(); ++i) {
-    Tensor out = from == 0
-                     ? layers[i]->forward(cur, ctx)
-                     : layers[i]->forward_step(cur, layer_outputs_[i], from, ctx);
-    layer_outputs_[i] = out;
-    cur = std::move(out);
-  }
+  Tensor cur = ladder_step(net_, x, layer_outputs_, from, subnet_id);
   remember_input(x);
   cached_subnet_ = subnet_id;
   return cur;

@@ -10,6 +10,30 @@
 
 namespace stepping {
 
+/// One stateless batched ladder step over externally-owned activation state
+/// (the serve batch re-formation path, ISSUE 9): evaluate subnet `to` on the
+/// stacked input `x` (B, C, H, W), given `layer_outputs` — one cached
+/// post-activation tensor per layer, all B rows at subnet `from` — and
+/// overwrite `layer_outputs` with the subnet-`to` state. `from == 0` is a
+/// cold start (layer_outputs is resized and filled from scratch).
+///
+/// Because every batched kernel computes each output row independently and
+/// in serial order (the PR 1 thread-pool invariant), a row's values depend
+/// only on its own input and cached state — NEVER on which other rows share
+/// the batch. Callers may therefore re-stack rows from *different* earlier
+/// batches between steps and still get outputs bitwise identical to any
+/// other batch composition (property-tested in tests/serve_reform_test.cc).
+/// IncrementalExecutor::run is this function plus an owned state + input
+/// fingerprint.
+///
+/// Returns the last layer's output (the logits tensor, B x classes).
+Tensor ladder_step(Network& net, const Tensor& x,
+                   std::vector<Tensor>& layer_outputs, int from, int to);
+
+/// Analytic per-image MACs ladder_step(from, to) executes: weights of units
+/// newly added in (from, to] plus a full head recompute.
+std::int64_t ladder_step_macs(Network& net, int from, int to);
+
 /// Evaluates subnets in increasing order on the SAME input, computing at each
 /// step only the units the new subnet adds (plus the always-recomputed head).
 /// Because a unit's input set is identical in every subnet containing it

@@ -34,6 +34,8 @@ const char* flight_event_name(FlightEventKind k) {
     case FlightEventKind::kPrelimPublish: return "prelim_publish";
     case FlightEventKind::kHalt: return "halt";
     case FlightEventKind::kFinalPublish: return "final_publish";
+    case FlightEventKind::kAdmitDecision: return "admit_decision";
+    case FlightEventKind::kBatchRejoin: return "batch_rejoin";
   }
   return "unknown";
 }
@@ -48,6 +50,7 @@ const char* halt_reason_name(HaltReason r) {
     case HaltReason::kMaxLevel: return "max_level";
     case HaltReason::kShutdown: return "shutdown";
     case HaltReason::kRejected: return "rejected";
+    case HaltReason::kAdmitRejected: return "admit_rejected";
   }
   return "unknown";
 }
@@ -219,6 +222,17 @@ void append_event_json(std::string& out, const FlightEvent& e) {
     case FlightEventKind::kFinalPublish:
       out += ",\"level\":" + std::to_string(e.a0) +
              ",\"missed\":" + std::to_string(e.a1);
+      break;
+    case FlightEventKind::kAdmitDecision:
+      out += std::string(",\"verdict\":\"") +
+             (e.a0 == 0 ? "accept" : e.a0 == 1 ? "degrade" : "reject") +
+             "\",\"target\":" + std::to_string(e.a1) +
+             ",\"predicted_wait_us\":" + std::to_string(e.a2);
+      break;
+    case FlightEventKind::kBatchRejoin:
+      out += ",\"batch_id\":" + std::to_string(e.a0) +
+             ",\"size\":" + std::to_string(e.a1) +
+             ",\"level\":" + std::to_string(e.a2);
       break;
   }
   out += "}";

@@ -51,6 +51,14 @@ enum class FlightEventKind : int {
   kPrelimPublish = 5, ///< first answer out; a0 = level, a1 = conf ppm
   kHalt = 6,          ///< refinement stops; a0 = reason, a1 = level
   kFinalPublish = 7,  ///< promise fulfilled; a0 = exit level, a1 = missed
+  /// Predictive admission control (ISSUE 9): the enqueue-time verdict.
+  /// a0 = decision (0 accept / 1 degrade / 2 reject), a1 = admitted target
+  /// level (0 when rejected), a2 = predicted queue wait in microseconds.
+  kAdmitDecision = 8,
+  /// Batch re-formation (ISSUE 9): a surviving request re-joined a NEW
+  /// micro-batch after a ladder step; a0 = batch id, a1 = batch size,
+  /// a2 = subnet level the re-formed batch steps to.
+  kBatchRejoin = 9,
 };
 
 /// Why a request stopped climbing the ladder.
@@ -63,6 +71,10 @@ enum class HaltReason : int {
   kMaxLevel = 5,    ///< ran the whole ladder
   kShutdown = 6,    ///< server stopped before execution
   kRejected = 7,    ///< never admitted (bad shape / queue full)
+  /// Refused at enqueue by predictive admission control (ISSUE 9): the
+  /// planner predicted even the smallest subnet would finish past the
+  /// deadline at the current queue depth, so no GEMM was spent on it.
+  kAdmitRejected = 8,
 };
 
 const char* flight_event_name(FlightEventKind k);

@@ -69,8 +69,16 @@ void quantize_activations(const float* x, int m, int k, int k4,
 
 /// Same, but x is stored transposed (k x m — the im2col column matrix with
 /// `m` spatial positions of `k`-deep patches): out(i, p) = q(x(p, i)).
+/// The gather is vectorized with 4x4 in-register block transposes (ISSUE 9);
+/// codes are bit-exact with the reference below on every input.
 void quantize_activations_transposed(const float* x, int m, int k, int k4,
                                      const ActQuant& aq, std::uint8_t* out);
+
+/// Scalar-gather reference implementation of the transposed variant — the
+/// parity baseline (tests/quant) and the bench_ops --i8 comparison row.
+void quantize_activations_transposed_ref(const float* x, int m, int k, int k4,
+                                         const ActQuant& aq,
+                                         std::uint8_t* out);
 
 /// Dequantize accumulators into y (m x n row-major): for active columns j,
 /// y(i,j) = float(acc(i,j) - zp*wsum[j]) * (sa*scale[j]) + bias[j], ReLU

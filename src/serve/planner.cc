@@ -1,5 +1,6 @@
 #include "serve/planner.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -92,6 +93,34 @@ int Planner::target_level(double remaining_ms, int batch) const {
     if (ms <= remaining_ms) target = l;
   }
   return target;
+}
+
+double Planner::predicted_queue_ms(std::size_t queue_depth, int workers,
+                                   int max_batch, LadderMode mode) const {
+  if (queue_depth == 0) return 0.0;
+  const std::size_t mb = static_cast<std::size_t>(std::max(1, max_batch));
+  const std::size_t nw = static_cast<std::size_t>(std::max(1, workers));
+  const std::size_t batches_ahead = (queue_depth + mb - 1) / mb;
+  const std::size_t per_worker = (batches_ahead + nw - 1) / nw;
+  return static_cast<double>(per_worker) *
+         predicted_level_ms(1, max_batch, mode);
+}
+
+Planner::AdmitDecision Planner::admit_decision(double deadline_rel_ms,
+                                               std::size_t queue_depth,
+                                               int workers, int max_batch,
+                                               LadderMode mode) const {
+  AdmitDecision d;
+  if (deadline_rel_ms <= 0.0) {  // no deadline: nothing to predict against
+    d.target = max_level();
+    return d;
+  }
+  d.predicted_wait_ms =
+      predicted_queue_ms(queue_depth, workers, max_batch, mode);
+  d.target = target_level(deadline_rel_ms - d.predicted_wait_ms, max_batch);
+  d.admit = d.target >= 1;
+  d.degraded = d.admit && d.target < max_level();
+  return d;
 }
 
 bool Planner::step_fits(int from, int to, double remaining_ms,

@@ -103,6 +103,36 @@ class Planner {
   bool step_fits(int from, int to, double remaining_ms,
                  std::int64_t remaining_budget, int batch = 1) const;
 
+  // -- Predictive admission control (ISSUE 9) ------------------------------
+
+  /// Enqueue-time verdict on a request, given the queue state it would join.
+  struct AdmitDecision {
+    bool admit = true;      ///< false: predicted certain deadline miss
+    bool degraded = false;  ///< admitted, but below the full ladder
+    int target = 0;         ///< highest level predicted to fit (0 = none)
+    double predicted_wait_ms = 0.0;  ///< queue delay fed into the verdict
+  };
+
+  /// Deterministic queue-delay estimate: `queue_depth` requests are ahead,
+  /// drained by `workers` workers in micro-batches of up to `max_batch`,
+  /// each batch costing at least one level-1 pass (the anytime floor —
+  /// every batch answers something before this request's turn can come).
+  /// A lower bound by construction, so admission never rejects a request
+  /// the serve path could still have satisfied under this latency model.
+  double predicted_queue_ms(std::size_t queue_depth, int workers,
+                            int max_batch, LadderMode mode) const;
+
+  /// The admission verdict at enqueue: subtract the predicted queue delay
+  /// from the relative deadline and plan the reachable target level.
+  /// target >= 1 admits (degraded when below max_level()); target == 0
+  /// means even the smallest subnet is predicted to finish late — the
+  /// request is hopeless and `admit` is false. `deadline_rel_ms <= 0`
+  /// (no deadline) always admits at the full ladder. Pure function of its
+  /// arguments — tests drive it with synthetic queue depths and clocks.
+  AdmitDecision admit_decision(double deadline_rel_ms, std::size_t queue_depth,
+                               int workers, int max_batch,
+                               LadderMode mode) const;
+
  private:
   LevelCosts costs_;
   DeviceModel dev_;

@@ -39,10 +39,43 @@ const char* step_span_name(int level) {
 
 }  // namespace
 
+const char* admit_policy_name(AdmitPolicy p) {
+  switch (p) {
+    case AdmitPolicy::kOff:
+      return "off";
+    case AdmitPolicy::kReject:
+      return "reject";
+    case AdmitPolicy::kDegrade:
+      return "degrade";
+    case AdmitPolicy::kEnv:
+      break;
+  }
+  return "env";
+}
+
+bool parse_admit_policy(const std::string& s, AdmitPolicy* out) {
+  if (s == "off") {
+    *out = AdmitPolicy::kOff;
+  } else if (s == "reject") {
+    *out = AdmitPolicy::kReject;
+  } else if (s == "degrade") {
+    *out = AdmitPolicy::kDegrade;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 double CounterSnapshot::batch_occupancy() const {
   return batches != 0 ? static_cast<double>(batched_inputs) /
                             static_cast<double>(batches)
                       : 0.0;
+}
+
+double CounterSnapshot::pass_occupancy() const {
+  return passes != 0
+             ? static_cast<double>(pass_rows) / static_cast<double>(passes)
+             : 0.0;
 }
 
 double CounterSnapshot::mean_exit_subnet() const {
@@ -67,6 +100,12 @@ std::string CounterSnapshot::to_string() const {
   std::snprintf(buf, sizeof(buf), "%.2f", batch_occupancy());
   os << "  batches=" << batches << " batched_inputs=" << batched_inputs
      << " occupancy=" << buf << "\n";
+  std::snprintf(buf, sizeof(buf), "%.2f", pass_occupancy());
+  os << "  passes=" << passes << " pass_rows=" << pass_rows
+     << " pass_occupancy=" << buf << "\n"
+     << "  admit_accepted=" << admit_accepted
+     << " admit_degraded=" << admit_degraded
+     << " admit_rejected=" << admit_rejected << "\n";
   os << "  step_passes_per_subnet=";
   for (std::size_t i = 0; i < step_passes_per_subnet.size(); ++i) {
     os << (i ? "," : "") << step_passes_per_subnet[i];
@@ -99,6 +138,19 @@ Server::Server(const Network& model, ServeConfig cfg)
   }
   cfg_.max_batch = std::max(1, cfg_.max_batch);
   if (cfg_.num_workers <= 0) cfg_.num_workers = default_workers();
+  if (cfg_.reform < 0) {
+    const std::string v = env_or("STEPPING_REFORM", "on");
+    cfg_.reform = (v == "off" || v == "0" || v == "false") ? 0 : 1;
+  }
+  if (cfg_.admit == AdmitPolicy::kEnv) {
+    AdmitPolicy p = AdmitPolicy::kOff;
+    parse_admit_policy(env_or("STEPPING_ADMIT", "off"), &p);
+    cfg_.admit = p;
+  }
+  if (cfg_.reform != 0) {
+    runq_ =
+        std::make_unique<LevelRunQueue>(cfg_.queue_capacity, cfg_.max_subnet);
+  }
 
   replicas_.reserve(static_cast<std::size_t>(cfg_.num_workers));
   for (int w = 0; w < cfg_.num_workers; ++w) replicas_.push_back(model.clone());
@@ -157,6 +209,17 @@ Server::Server(const Network& model, ServeConfig cfg)
     if (fp_ms > 0.0) planner_->set_int8_scale(i8_ms / fp_ms);
   }
 
+  // Re-formation scheduling constants (ISSUE 9): the per-step MAC table the
+  // level-batch path attributes from (identical to the executor's analytic
+  // count), and the run-queue's urgency threshold — about two level-1 pass
+  // times of slack; below that a request is served before fuller batches.
+  step_macs_.reserve(static_cast<std::size_t>(cfg_.max_subnet));
+  for (int l = 1; l <= cfg_.max_subnet; ++l) {
+    step_macs_.push_back(ladder_step_macs(replicas_.front(), l - 1, l));
+  }
+  urgent_slack_ms_ =
+      2.0 * planner_->predicted_level_ms(1, cfg_.max_batch, ladder_mode());
+
   // Resolve every metric handle up front; workers only touch atomics.
   m_.submitted = &registry_.counter("serve_submitted_total");
   m_.rejected = &registry_.counter("serve_rejected_total");
@@ -167,6 +230,11 @@ Server::Server(const Network& model, ServeConfig cfg)
   m_.total_macs = &registry_.counter("serve_macs_total");
   m_.reuse_macs_saved = &registry_.counter("serve_reuse_macs_saved_total");
   m_.int8_passes = &registry_.counter("serve_int8_passes_total");
+  m_.passes = &registry_.counter("serve_passes_total");
+  m_.pass_rows = &registry_.counter("serve_pass_rows_total");
+  m_.admit_accepted = &registry_.counter("serve_admit_accepted_total");
+  m_.admit_degraded = &registry_.counter("serve_admit_degraded_total");
+  m_.admit_rejected = &registry_.counter("serve_admit_rejected_total");
   m_.queue_depth = &registry_.gauge("serve_queue_depth");
   m_.peak_queue_depth = &registry_.gauge("serve_peak_queue_depth");
   m_.slo_hit_rate_ppm = &registry_.gauge("serve_slo_hit_rate_ppm");
@@ -200,16 +268,31 @@ Server::Server(const Network& model, ServeConfig cfg)
 
   workers_.reserve(static_cast<std::size_t>(cfg_.num_workers));
   for (int w = 0; w < cfg_.num_workers; ++w) {
-    workers_.emplace_back(
-        [this, w] { worker_main(static_cast<std::size_t>(w)); });
+    workers_.emplace_back([this, w] {
+      const auto id = static_cast<std::size_t>(w);
+      cfg_.reform != 0 ? worker_main_reform(id) : worker_main(id);
+    });
   }
 }
 
 Server::~Server() { shutdown(); }
 
+Planner::LadderMode Server::ladder_mode() const {
+  if (cfg_.precision == quant::Precision::kInt8 && calib_ != nullptr) {
+    return Planner::LadderMode::kInt8;
+  }
+  return cfg_.reuse ? Planner::LadderMode::kReuse
+                    : Planner::LadderMode::kFromScratch;
+}
+
+std::size_t Server::active_queue_depth() const {
+  return runq_ ? runq_->depth() : queue_.depth();
+}
+
 void Server::shutdown() {
   const bool already = stopped_.exchange(true);
   queue_.close();
+  if (runq_) runq_->close();
   if (already) return;
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
@@ -245,8 +328,56 @@ std::future<ServedResult> Server::submit(Request req) {
   flight_.event(job.flight, obs::FlightEventKind::kEnqueue, job.submit_ms);
 
   m_.submitted->inc();
+
+  // Predictive admission control (ISSUE 9): before the request joins the
+  // queue, predict — from the depth it would join at — whether any subnet
+  // can still answer inside its deadline. Hopeless requests are refused up
+  // front instead of burning GEMM time on a guaranteed miss; under kDegrade
+  // the rest are capped to the level the planner predicts reachable.
+  if (cfg_.admit != AdmitPolicy::kOff) {
+    const Planner::AdmitDecision d = planner_->admit_decision(
+        deadline, active_queue_depth(), cfg_.num_workers, cfg_.max_batch,
+        ladder_mode());
+    const bool degrade =
+        cfg_.admit == AdmitPolicy::kDegrade && d.admit && d.degraded;
+    flight_.event(job.flight, obs::FlightEventKind::kAdmitDecision,
+                  job.submit_ms, !d.admit ? 2 : degrade ? 1 : 0, d.target,
+                  static_cast<std::int64_t>(d.predicted_wait_ms * 1000.0));
+    if (!d.admit) {
+      m_.admit_rejected->inc();
+      m_.rejected->inc();
+      flight_.event(
+          job.flight, obs::FlightEventKind::kHalt, job.submit_ms,
+          static_cast<std::int64_t>(obs::HaltReason::kAdmitRejected), 0);
+      // missed = true: an admission reject IS a (predicted) deadline miss,
+      // so the postmortem buffer retains its timeline — but the server's
+      // deadline_misses counter and the SLO window track only requests that
+      // actually executed, and stay untouched.
+      flight_.finish(job.flight, 0, obs::HaltReason::kAdmitRejected, true,
+                     0.0, 0.0, 0.0);
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "serve: admission control rejected request: predicted "
+                    "queue wait %.2f ms leaves no reachable subnet before "
+                    "the %.2f ms deadline",
+                    d.predicted_wait_ms, deadline);
+      job.promise.set_exception(
+          std::make_exception_ptr(std::runtime_error(msg)));
+      return fut;
+    }
+    if (degrade) {
+      job.admit_target = d.target;
+      m_.admit_degraded->inc();
+    } else {
+      m_.admit_accepted->inc();
+    }
+  }
+
   const bool was_stopped = stopped_.load();
-  if (was_stopped || !queue_.push(std::move(job))) {
+  const bool pushed =
+      !was_stopped &&
+      (runq_ ? runq_->push(std::move(job)) : queue_.push(std::move(job)));
+  if (!pushed) {
     // push() leaves the job untouched on failure, so the promise is intact.
     m_.rejected->inc();
     const obs::HaltReason why = was_stopped ? obs::HaltReason::kShutdown
@@ -258,7 +389,7 @@ std::future<ServedResult> Server::submit(Request req) {
         std::runtime_error("serve: queue full or server stopped")));
     return fut;
   }
-  const auto depth = static_cast<std::int64_t>(queue_.depth());
+  const auto depth = static_cast<std::int64_t>(active_queue_depth());
   m_.queue_depth->set(depth);
   m_.peak_queue_depth->max_of(depth);
   obs::trace_counter("serve.queue_depth", depth);
@@ -284,10 +415,17 @@ CounterSnapshot Server::counters() const {
   snap.deadline_misses = m_.deadline_misses->value();
   snap.batches = m_.batches->value();
   snap.batched_inputs = m_.batched_inputs->value();
+  // pass_rows before passes (writer bumps passes first), so a concurrent
+  // snapshot keeps pass_rows <= passes * max_batch.
+  snap.pass_rows = m_.pass_rows->value();
+  snap.passes = m_.passes->value();
+  snap.admit_degraded = m_.admit_degraded->value();
+  snap.admit_rejected = m_.admit_rejected->value();
+  snap.admit_accepted = m_.admit_accepted->value();
   snap.completed = m_.completed->value();
   snap.submitted = m_.submitted->value();
   snap.rejected = m_.rejected->value();
-  snap.queue_depth = queue_.depth();
+  snap.queue_depth = active_queue_depth();
   snap.peak_queue_depth =
       static_cast<std::uint64_t>(m_.peak_queue_depth->value());
   snap.total_macs = static_cast<std::int64_t>(m_.total_macs->value());
@@ -295,7 +433,7 @@ CounterSnapshot Server::counters() const {
 }
 
 void Server::refresh_gauges() const {
-  m_.queue_depth->set(static_cast<std::int64_t>(queue_.depth()));
+  m_.queue_depth->set(static_cast<std::int64_t>(active_queue_depth()));
   const obs::SloTracker::WindowStats s = slo_.window(clock_.milliseconds());
   m_.slo_hit_rate_ppm->set(static_cast<std::int64_t>(s.hit_rate * 1e6));
   m_.slo_budget_burn_milli->set(
@@ -397,7 +535,9 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
     // Under load the queue wait has consumed part of the deadline, so the
     // planner naturally steps the target down; even a hopeless deadline
     // still yields the smallest subnet (anytime: always answer something).
-    lv.target = std::max(1, planner_->target_level(remaining, b));
+    int target = planner_->target_level(remaining, b);
+    if (jobs[j].admit_target > 0) target = std::min(target, jobs[j].admit_target);
+    lv.target = std::max(1, target);
     flight_.event(jobs[j].flight, obs::FlightEventKind::kAdmit, start_ms,
                   static_cast<std::int64_t>(worker_id));
     flight_.event(jobs[j].flight, obs::FlightEventKind::kBatchJoin, start_ms,
@@ -517,6 +657,10 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
     }
     softmax_rows(y, probs);
     m_.step_passes[static_cast<std::size_t>(level - 1)]->inc();
+    // Pass occupancy (ISSUE 9): this pass rode `b` GEMM rows but only
+    // `active` of them were still live — the waste re-formation removes.
+    m_.passes->inc();
+    m_.pass_rows->inc(static_cast<std::uint64_t>(active));
     m_.total_macs->inc(static_cast<std::uint64_t>(step_img * active));
     if (cfg_.reuse && !int8_ladder) {
       // MACs a no-reuse baseline would have paid for this pass, minus what
@@ -667,6 +811,374 @@ void Server::process_batch(Network& net, IncrementalExecutor& ex,
     res.steps = std::move(lv.steps);
     jobs[j].promise.set_value(std::move(res));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Batch re-formation path (ISSUE 9)
+// ---------------------------------------------------------------------------
+
+void Server::worker_main_reform(std::size_t worker_id) {
+  obs::trace_thread_name("serve.worker." + std::to_string(worker_id));
+  Network& net = replicas_[worker_id];
+  std::vector<Job> batch;
+  for (;;) {
+    bool got;
+    {
+      STEPPING_TRACE_SCOPE_CAT("serve", "serve.queue_wait");
+      got = runq_->pop_batch(cfg_.max_batch, now_ms(), urgent_slack_ms_, batch);
+    }
+    if (!got) break;
+    obs::trace_counter("serve.queue_depth",
+                       static_cast<std::int64_t>(runq_->depth()));
+    process_level_batch(net, batch, worker_id);
+  }
+}
+
+/// One re-formed ladder pass: every job in `jobs` has cached level `from`
+/// (possibly from different earlier micro-batches, possibly fresh) and steps
+/// together to `from + 1`. Halting rows are published and retired; survivors
+/// re-enter the run-queue carrying the new shared activation state, where
+/// the next pop may merge them with survivors of other batches. Per-row
+/// results are bitwise identical to the legacy whole-ladder path: batched
+/// kernels compute each output row independently in serial order, so neither
+/// the batch composition nor the step's host worker can change a row.
+void Server::process_level_batch(Network& net, std::vector<Job>& jobs,
+                                 std::size_t worker_id) {
+  obs::TraceScope batch_span("serve.batch", "serve");
+  const int b = static_cast<int>(jobs.size());
+  const int from = jobs.front().level;  // pop_batch pops one bucket: all equal
+  const int level = from + 1;           // the subnet this pass steps to
+  const int c = net.input_channels(), h = net.input_h(), w = net.input_w();
+  const double start_ms = now_ms();
+  const std::uint64_t batch_id = next_batch_id_.fetch_add(1);
+
+  const bool int8_ladder =
+      cfg_.precision == quant::Precision::kInt8 && calib_ != nullptr;
+  const bool reuse = cfg_.reuse && !int8_ladder;
+
+  // Stack the live rows. Unlike the legacy path this re-stacks EVERY pass —
+  // the batch is re-formed from whatever same-level rows were waiting.
+  Tensor x({b, c, h, w});
+  {
+    STEPPING_TRACE_SCOPE_CAT("serve", "serve.form");
+    const std::int64_t img = static_cast<std::int64_t>(c) * h * w;
+    for (int j = 0; j < b; ++j) {
+      std::memcpy(x.data() + static_cast<std::size_t>(j) * img,
+                  jobs[j].input.data(),
+                  sizeof(float) * static_cast<std::size_t>(img));
+    }
+  }
+
+  // Fresh rows (level 0) get admitted and planned; survivors record the
+  // rejoin — which re-formed batch picked them up, at what size, stepping
+  // where — so postmortem timelines show every migration.
+  for (int j = 0; j < b; ++j) {
+    Job& job = jobs[j];
+    if (from == 0) {
+      job.queue_ms = start_ms - job.submit_ms;
+      const double remaining = job.deadline_abs_ms > 0.0
+                                   ? job.deadline_abs_ms - start_ms
+                                   : kNoDeadline;
+      int target = planner_->target_level(remaining, b);
+      if (job.admit_target > 0) target = std::min(target, job.admit_target);
+      job.target = std::max(1, target);
+      flight_.event(job.flight, obs::FlightEventKind::kAdmit, start_ms,
+                    static_cast<std::int64_t>(worker_id));
+      flight_.event(job.flight, obs::FlightEventKind::kBatchJoin, start_ms,
+                    static_cast<std::int64_t>(batch_id), b);
+      flight_.set_batch(job.flight, batch_id, b, job.target,
+                        static_cast<int>(cfg_.precision), isa_tier_int_);
+    } else {
+      flight_.event(job.flight, obs::FlightEventKind::kBatchRejoin, start_ms,
+                    static_cast<std::int64_t>(batch_id), b, level);
+    }
+  }
+
+  // Admission batches keep their legacy meaning (micro-batches formed at
+  // admission); pass counters measure what actually rode the GEMMs. The
+  // batched_inputs counter is attributed at COMPLETION below — the snapshot
+  // invariant batched_inputs <= completed must hold mid-flight, and every
+  // admitted row completes, so the quiescent value is unchanged.
+  if (from == 0) m_.batches->inc();
+  m_.passes->inc();
+  m_.pass_rows->inc(static_cast<std::uint64_t>(b));
+
+  Tensor probs;
+
+  // Auto policy (ISSUE 7): fresh batches get one cheap int8 pass at the
+  // highest planned target before the fp32 ladder starts — same contract as
+  // the legacy path, scoped to this pass's rows.
+  if (from == 0 && cfg_.precision == quant::Precision::kAuto &&
+      calib_ != nullptr) {
+    int prelim = 1;
+    for (const Job& job : jobs) prelim = std::max(prelim, job.target);
+    obs::TraceScope prelim_span("serve.int8_prelim", "serve");
+    const double prelim_start = now_ms();
+    const double prelim_predicted = planner_->int8_full_ms(prelim, b);
+    SubnetContext ctx;
+    ctx.subnet_id = prelim;
+    ctx.num_subnets = cfg_.max_subnet;
+    ctx.precision = quant::Precision::kInt8;
+    ctx.calibration = calib_.get();
+    Tensor y = net.forward(x, ctx);
+    prelim_span.arg("batch", b);
+    prelim_span.arg("level", prelim);
+    m_.int8_passes->inc();
+    const std::int64_t prelim_img =
+        planner_->costs().full[static_cast<std::size_t>(prelim - 1)];
+    m_.total_macs->inc(static_cast<std::uint64_t>(prelim_img * b));
+    const double now = now_ms();
+    if (prelim_predicted > 0.0) {
+      m_.plan_error[static_cast<std::size_t>(prelim - 1)]->observe(
+          (now - prelim_start) / prelim_predicted);
+    }
+    softmax_rows(y, probs);
+    const int classes = y.dim(1);
+    for (int j = 0; j < b; ++j) {
+      Job& job = jobs[j];
+      job.macs += prelim_img;
+      double top1 = 0.0;
+      for (int k = 0; k < classes; ++k) {
+        top1 = std::max(top1, static_cast<double>(probs.at(j, k)));
+      }
+      job.confidence = top1;
+      job.first_ms = now - job.submit_ms;
+      flight_.event(job.flight, obs::FlightEventKind::kStepStart, prelim_start,
+                    prelim, 1, isa_tier_int_);
+      flight_.event(job.flight, obs::FlightEventKind::kStepEnd, now, prelim,
+                    prelim_img, conf_ppm(top1));
+      flight_.event(job.flight, obs::FlightEventKind::kPrelimPublish, now,
+                    prelim, conf_ppm(top1));
+      StepUpdate update;
+      update.subnet = prelim;
+      update.at_ms = job.first_ms;
+      update.macs = job.macs;
+      update.confidence = top1;
+      update.final = false;
+      update.int8 = true;
+      job.steps.push_back(update);
+      if (job.on_step) job.on_step(update);
+    }
+  }
+
+  // The batched step itself. Reuse mode re-stacks the cached per-layer
+  // activations of the source batches into fresh batch tensors first — the
+  // state migration that lets rows from different earlier batches (and
+  // different workers) share this GEMM.
+  obs::TraceScope step_span(step_span_name(level), "serve");
+  const double level_start = now_ms();
+  Tensor y;
+  std::int64_t step_img = 0;
+  std::shared_ptr<std::vector<Tensor>> acts;
+  if (reuse) {
+    acts = std::make_shared<std::vector<Tensor>>();
+    if (from > 0) {
+      STEPPING_TRACE_SCOPE_CAT("serve", "serve.form");
+      const std::size_t nlayers = jobs.front().acts->size();
+      acts->resize(nlayers);
+      for (std::size_t i = 0; i < nlayers; ++i) {
+        const Tensor& src0 = (*jobs.front().acts)[i];
+        std::vector<int> shape = src0.shape();
+        const std::int64_t row = src0.numel() / src0.dim(0);
+        shape[0] = b;
+        Tensor dst(shape);
+        for (int j = 0; j < b; ++j) {
+          const Tensor& src = (*jobs[j].acts)[i];
+          std::memcpy(
+              dst.data() + static_cast<std::size_t>(j) * row,
+              src.data() + static_cast<std::size_t>(jobs[j].acts_row) * row,
+              sizeof(float) * static_cast<std::size_t>(row));
+        }
+        (*acts)[i] = std::move(dst);
+      }
+    }
+    y = ladder_step(net, x, *acts, from, level);
+    step_img = step_macs_[static_cast<std::size_t>(from)];
+  } else {
+    // No-reuse baseline and int8 ladders run each level from scratch, so no
+    // activation state migrates — only the job's scalar ladder state does.
+    SubnetContext ctx;
+    ctx.subnet_id = level;
+    ctx.num_subnets = cfg_.max_subnet;
+    if (int8_ladder) {
+      ctx.precision = quant::Precision::kInt8;
+      ctx.calibration = calib_.get();
+      m_.int8_passes->inc();
+    }
+    y = net.forward(x, ctx);
+    step_img = planner_->costs().full[static_cast<std::size_t>(level - 1)];
+  }
+  step_span.arg("batch", b);
+  step_span.arg("level", level);
+  step_span.arg("macs", step_img * b);
+  const double now = now_ms();
+  const double pass_ms = now - level_start;
+  const double predicted_ms =
+      planner_->predicted_level_ms(level, b, ladder_mode());
+  if (predicted_ms > 0.0) {
+    m_.plan_error[static_cast<std::size_t>(level - 1)]->observe(pass_ms /
+                                                                predicted_ms);
+  }
+  softmax_rows(y, probs);
+  m_.step_passes[static_cast<std::size_t>(level - 1)]->inc();
+  m_.total_macs->inc(static_cast<std::uint64_t>(step_img * b));
+  if (reuse) {
+    const std::int64_t full =
+        planner_->costs().full[static_cast<std::size_t>(level - 1)];
+    const std::int64_t saved = (full - step_img) * b;
+    if (saved > 0) m_.reuse_macs_saved->inc(static_cast<std::uint64_t>(saved));
+  }
+  m_.level_ms[static_cast<std::size_t>(level - 1)]->observe(pass_ms);
+
+  // Halt decisions — same predicates, in the same order, as the legacy path.
+  struct Done {
+    std::size_t j = 0;
+    obs::HaltReason halt = obs::HaltReason::kNone;
+    bool missed = false;
+    double final_ms = 0.0;
+    Tensor logits;
+  };
+  std::vector<Done> done;
+  std::vector<std::size_t> survivors;
+  const int classes = y.dim(1);
+  for (int j = 0; j < b; ++j) {
+    Job& job = jobs[j];
+    job.macs += step_img;
+    double top1 = 0.0;
+    for (int k = 0; k < classes; ++k) {
+      top1 = std::max(top1, static_cast<double>(probs.at(j, k)));
+    }
+    job.confidence = top1;
+    flight_.event(job.flight, obs::FlightEventKind::kStepStart, level_start,
+                  level, int8_ladder ? 1 : 0, isa_tier_int_);
+    flight_.event(job.flight, obs::FlightEventKind::kStepEnd, now, level,
+                  step_img, conf_ppm(top1));
+    flight_.set_level(job.flight, level, predicted_ms, pass_ms, step_img);
+    if (level == 1 && job.first_ms == 0.0) {
+      job.first_ms = now - job.submit_ms;
+      flight_.event(job.flight, obs::FlightEventKind::kPrelimPublish, now,
+                    level, conf_ppm(top1));
+    }
+
+    const double remaining = job.deadline_abs_ms > 0.0
+                                 ? job.deadline_abs_ms - now
+                                 : kNoDeadline;
+    const std::int64_t budget = job.mac_budget > 0 ? job.mac_budget : -1;
+    const std::int64_t rem_budget =
+        budget < 0 ? -1 : std::max<std::int64_t>(0, budget - job.macs);
+    bool stop = false;
+    obs::HaltReason why = obs::HaltReason::kNone;
+    if (level >= cfg_.max_subnet) {
+      stop = true;
+      why = obs::HaltReason::kMaxLevel;
+    } else if (level >= job.target) {
+      stop = true;
+      why = job.deadline_abs_ms > 0.0 && job.target < cfg_.max_subnet
+                ? obs::HaltReason::kDeadline
+                : obs::HaltReason::kTarget;
+    }
+    if (!stop && cfg_.confidence_threshold > 0.0 &&
+        top1 >= cfg_.confidence_threshold) {
+      stop = true;
+      why = obs::HaltReason::kConfidence;
+    }
+    if (!stop &&
+        !planner_->step_fits(level, level + 1, remaining, rem_budget, b)) {
+      stop = true;
+      why = rem_budget >= 0 &&
+                    planner_->costs().step_macs(level, level + 1) > rem_budget
+                ? obs::HaltReason::kBudget
+                : obs::HaltReason::kDeadline;
+    }
+
+    StepUpdate update;
+    update.subnet = level;
+    update.at_ms = now - job.submit_ms;
+    update.macs = job.macs;
+    update.confidence = top1;
+    update.final = stop;
+    update.int8 = int8_ladder;
+    job.steps.push_back(update);
+    if (job.on_step) job.on_step(update);
+
+    if (stop) {
+      Done d;
+      d.j = static_cast<std::size_t>(j);
+      d.halt = why;
+      d.final_ms = now - job.submit_ms;
+      flight_.event(job.flight, obs::FlightEventKind::kHalt, now,
+                    static_cast<std::int64_t>(why), level);
+      Tensor row({1, classes});
+      std::memcpy(row.data(), y.data() + static_cast<std::size_t>(j) * classes,
+                  sizeof(float) * static_cast<std::size_t>(classes));
+      d.logits = std::move(row);
+      d.missed = job.deadline_abs_ms > 0.0 &&
+                 job.submit_ms + job.first_ms > job.deadline_abs_ms;
+      done.push_back(std::move(d));
+    } else {
+      survivors.push_back(static_cast<std::size_t>(j));
+    }
+  }
+
+  batch_span.arg("batch", b);
+  batch_span.arg("level", level);
+  batch_span.arg("macs", step_img * b);
+  m_.batch_ms->observe(now_ms() - start_ms);
+
+  // Re-enter survivors FIRST: another worker can merge them into its next
+  // pass while this one is still publishing. Each survivor carries the new
+  // shared state (its row of this pass's activations) — the old source
+  // batches' state frees itself once the last row referencing it moves on.
+  for (std::size_t idx : survivors) {
+    Job& job = jobs[idx];
+    job.level = level;
+    if (reuse) {
+      job.acts = acts;
+      job.acts_row = static_cast<int>(idx);
+    }
+    runq_->push_survivor(std::move(job));
+  }
+
+  // Counters BEFORE promises, completed first (same contract as the legacy
+  // path): a caller observing its future resolved must also observe its
+  // request completed, and misses/exits never exceed completed.
+  std::uint64_t misses = 0;
+  for (const Done& d : done) {
+    if (d.missed) ++misses;
+  }
+  m_.completed->inc(static_cast<std::uint64_t>(done.size()));
+  m_.deadline_misses->inc(misses);
+  m_.batched_inputs->inc(static_cast<std::uint64_t>(done.size()));
+  if (!done.empty()) {
+    m_.exits[static_cast<std::size_t>(level - 1)]->inc(
+        static_cast<std::uint64_t>(done.size()));
+  }
+
+  STEPPING_TRACE_SCOPE_CAT("serve", "serve.publish");
+  const double publish_ms = now_ms();
+  for (Done& d : done) {
+    Job& job = jobs[d.j];
+    ServedResult res;
+    res.logits = std::move(d.logits);
+    res.exit_subnet = level;
+    res.confidence = job.confidence;
+    res.macs = job.macs;
+    res.deadline_missed = d.missed;
+    res.queue_ms = job.queue_ms;
+    res.first_result_ms = job.first_ms;
+    res.final_ms = d.final_ms;
+    m_.queue_ms->observe(res.queue_ms);
+    m_.first_result_ms->observe(res.first_result_ms);
+    m_.final_ms->observe(res.final_ms);
+    slo_.record(publish_ms, d.missed);
+    flight_.event(job.flight, obs::FlightEventKind::kFinalPublish, publish_ms,
+                  level, d.missed ? 1 : 0);
+    flight_.finish(job.flight, level, d.halt, d.missed, res.queue_ms,
+                   job.first_ms, d.final_ms);
+    res.steps = std::move(job.steps);
+    job.promise.set_value(std::move(res));
+  }
+  runq_->retire(done.size());
 }
 
 }  // namespace stepping::serve

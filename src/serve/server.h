@@ -76,6 +76,21 @@
 
 namespace stepping::serve {
 
+/// Predictive admission control (ISSUE 9): what to do at enqueue when the
+/// planner — from the queue depth the request would join — predicts the
+/// deadline outcome. kOff is a pinned no-op (pre-ISSUE-9 behavior).
+enum class AdmitPolicy : int {
+  kEnv = -1,     ///< resolve from STEPPING_ADMIT (default kOff)
+  kOff = 0,      ///< admit everything (legacy)
+  kReject = 1,   ///< refuse hopeless requests (even level 1 predicted late)
+  kDegrade = 2,  ///< reject hopeless; cap the rest to the reachable target
+};
+
+const char* admit_policy_name(AdmitPolicy p);
+/// Parses "off" / "reject" / "degrade" (case-sensitive). Returns false and
+/// leaves *out untouched on anything else.
+bool parse_admit_policy(const std::string& s, AdmitPolicy* out);
+
 struct ServeConfig {
   /// Worker threads, each with its own model replica. <= 0 resolves from the
   /// STEPPING_SERVE_WORKERS env var, defaulting to 1 (kernels inside a
@@ -125,6 +140,19 @@ struct ServeConfig {
   /// window it is evaluated over.
   double slo_objective = 0.99;
   double slo_window_sec = 60.0;
+  /// Continuous batch re-formation (ISSUE 9). > 0: workers share one
+  /// level-indexed run-queue (serve/queue.h) — after every ladder step the
+  /// survivors of different micro-batches re-merge into full same-level
+  /// batches and freed slots refill with fresh admissions. 0: the legacy
+  /// path (each popped batch runs its whole ladder on one worker, halted
+  /// rows riding along as dead weight). < 0 resolves from STEPPING_REFORM
+  /// ("off"/"0" disables; default on). Performance-only: per-request logits
+  /// are bitwise identical in both modes (each batched-GEMM output row is
+  /// computed independently in serial order by one thread).
+  int reform = -1;
+  /// Predictive admission control (ISSUE 9); kEnv resolves from the
+  /// STEPPING_ADMIT env var ("off" / "reject" / "degrade", default off).
+  AdmitPolicy admit = AdmitPolicy::kEnv;
 };
 
 /// Legacy aggregate view, assembled from the server's metrics registry.
@@ -136,8 +164,18 @@ struct CounterSnapshot {
   std::uint64_t rejected = 0;
   std::uint64_t completed = 0;
   std::uint64_t deadline_misses = 0;
-  std::uint64_t batches = 0;        ///< micro-batches executed
-  std::uint64_t batched_inputs = 0; ///< sum of micro-batch sizes
+  std::uint64_t batches = 0;        ///< admission micro-batches formed
+  std::uint64_t batched_inputs = 0; ///< sum of admission micro-batch sizes
+  /// Batched ladder passes actually executed and the live (non-halted) rows
+  /// they carried. Under re-formation every pass is re-stacked from live
+  /// rows only, so pass_rows / passes — pass_occupancy() — is the GEMM
+  /// utilization the re-formation tentpole optimizes.
+  std::uint64_t passes = 0;
+  std::uint64_t pass_rows = 0;
+  /// Admission-control verdicts (all zero while STEPPING_ADMIT=off).
+  std::uint64_t admit_accepted = 0;
+  std::uint64_t admit_degraded = 0;
+  std::uint64_t admit_rejected = 0;
   std::uint64_t queue_depth = 0;      ///< at snapshot time
   std::uint64_t peak_queue_depth = 0; ///< high-water mark at admission
   std::vector<std::uint64_t> step_passes_per_subnet; ///< batched passes at L
@@ -146,6 +184,8 @@ struct CounterSnapshot {
 
   /// Mean micro-batch size; 0 when nothing ran.
   double batch_occupancy() const;
+  /// Mean live rows per executed ladder pass; 0 when nothing ran.
+  double pass_occupancy() const;
   /// Mean exit level over completed requests; 0 when none.
   double mean_exit_subnet() const;
   /// Multi-line human-readable dump (CLI prints this on shutdown).
@@ -223,6 +263,16 @@ class Server {
   void worker_main(std::size_t worker_id);
   void process_batch(Network& net, IncrementalExecutor& ex,
                      std::vector<Job>& jobs, std::size_t worker_id);
+  /// Re-formation worker loop (cfg_.reform): pop one same-level batch from
+  /// the shared run-queue, step it once, publish the halting rows and push
+  /// the survivors back for re-merging.
+  void worker_main_reform(std::size_t worker_id);
+  void process_level_batch(Network& net, std::vector<Job>& jobs,
+                           std::size_t worker_id);
+  /// Ladder execution mode for planner predictions under this config.
+  Planner::LadderMode ladder_mode() const;
+  /// Waiting depth of whichever queue this config uses.
+  std::size_t active_queue_depth() const;
   /// Refresh the exposition-time gauges (queue depth, SLO window, flight
   /// counters) before a registry snapshot.
   void refresh_gauges() const;
@@ -234,7 +284,15 @@ class Server {
   /// start.
   std::shared_ptr<const quant::CalibrationTable> calib_;
   std::vector<Network> replicas_;  ///< one per worker
-  RequestQueue queue_;
+  RequestQueue queue_;             ///< legacy path (cfg_.reform == 0)
+  std::unique_ptr<LevelRunQueue> runq_;  ///< re-formation path (non-null iff on)
+  /// Slack threshold of the run-queue's urgency override: about two level-1
+  /// pass times — below that, waiting for a fuller batch risks the deadline.
+  double urgent_slack_ms_ = 0.0;
+  /// Per-image MACs of one reuse step L -> L+1, index L in
+  /// [0, max_subnet): precomputed so re-formation passes skip the per-pass
+  /// layer walk. Matches IncrementalExecutor::last_step_macs() exactly.
+  std::vector<std::int64_t> step_macs_;
   Timer clock_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> next_seq_{0};
@@ -258,6 +316,11 @@ class Server {
     obs::Counter* total_macs = nullptr;
     obs::Counter* reuse_macs_saved = nullptr;
     obs::Counter* int8_passes = nullptr;  ///< int8 forwards (prelim or rung)
+    obs::Counter* passes = nullptr;       ///< executed ladder passes
+    obs::Counter* pass_rows = nullptr;    ///< live rows across those passes
+    obs::Counter* admit_accepted = nullptr;
+    obs::Counter* admit_degraded = nullptr;
+    obs::Counter* admit_rejected = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* peak_queue_depth = nullptr;
     /// SLO window gauges, refreshed at exposition time: hit rate in parts

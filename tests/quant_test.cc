@@ -181,6 +181,42 @@ TEST(QuantActivations, ZeroMapsToZeroPointExactly) {
   EXPECT_EQ(q[2], 127);
 }
 
+// The vectorized transposed gather (4x4 block transpose, ISSUE 9) must be
+// bit-exact with the scalar reference on every shape — including the m % 4
+// and k % 4 tails, both zero-point layouts, padding and hostile values.
+TEST(QuantActivations, TransposedGatherMatchesReference) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto next_float = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    // Uniform-ish in [-6, 6): well past the calibrated range on both sides,
+    // so saturation paths are exercised too.
+    return static_cast<float>((state >> 33) % 12000) / 1000.0f - 6.0f;
+  };
+  for (const int m : {1, 2, 3, 4, 5, 7, 8, 16, 33}) {
+    for (const int k : {1, 3, 4, 5, 8, 27, 150}) {
+      const int k4 = (k + 3) & ~3;
+      std::vector<float> x(static_cast<std::size_t>(m) * k);
+      for (float& v : x) v = next_float();
+      x[0] = 0.0f;  // exact zero-point mapping rides along
+      if (x.size() > 5) {
+        x[3] = std::numeric_limits<float>::infinity();
+        x[5] = -std::numeric_limits<float>::quiet_NaN();
+      }
+      for (const bool nonneg : {false, true}) {
+        const quant::ActQuant aq = quant::activation_params(4.0f, nonneg);
+        std::vector<std::uint8_t> got(static_cast<std::size_t>(m) * k4, 0xee);
+        std::vector<std::uint8_t> want(static_cast<std::size_t>(m) * k4, 0xbb);
+        quant::quantize_activations_transposed(x.data(), m, k, k4, aq,
+                                               got.data());
+        quant::quantize_activations_transposed_ref(x.data(), m, k, k4, aq,
+                                                   want.data());
+        ASSERT_EQ(got, want) << "m=" << m << " k=" << k
+                             << " nonneg=" << nonneg;
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Provider parity: bit-identical accumulators at every tier.
 // ---------------------------------------------------------------------------

@@ -77,6 +77,14 @@ serve:
   --confidence T      early-exit top-1 gate, 0 = off    (default 0)
   --mac-budget M      default per-request MAC budget, 0 = unlimited
   --no-reuse          disable incremental reuse (baseline mode)
+  --reform M          on | off: continuous batch re-formation — survivors of
+                      different micro-batches re-merge into full same-level
+                      batches each step (default: STEPPING_REFORM, on)
+  --admit P           off | reject | degrade: predictive admission control at
+                      enqueue (default: STEPPING_ADMIT, off). reject refuses
+                      requests whose deadline is already hopeless at the
+                      predicted queue wait; degrade also caps the rest to the
+                      reachable subnet level
   --metrics-dump-sec N  print a metrics JSON snapshot every N seconds
                         (the last partial window flushes on shutdown, then a
                         final cumulative snapshot prints)
@@ -351,6 +359,22 @@ int cmd_serve(const CliArgs& args) {
   cfg.default_deadline_ms = args.get_double("deadline-ms", 0.0);
   cfg.reuse = !args.has("no-reuse");
   cfg.slo_objective = args.get_double("slo-objective", 0.99);
+  if (args.has("reform")) {
+    const std::string r = args.get("reform", "on");
+    if (r != "on" && r != "off") {
+      LOG_ERROR << "--reform must be on or off (got \"" << r << "\")";
+      return 2;
+    }
+    cfg.reform = r == "on" ? 1 : 0;
+  }
+  if (args.has("admit")) {
+    const std::string a = args.get("admit", "off");
+    if (!serve::parse_admit_policy(a, &cfg.admit)) {
+      LOG_ERROR << "--admit must be off, reject or degrade (got \"" << a
+                << "\")";
+      return 2;
+    }
+  }
   cfg.device = calibrate_device(net, c.subnets);
   if (!cli_precision(args, &cfg.precision)) return 2;
   if (cfg.precision != quant::Precision::kFp32) {
@@ -370,11 +394,15 @@ int cmd_serve(const CliArgs& args) {
   serve::TcpServer tcp(server, static_cast<int>(args.get_int("port", 0)));
   g_tcp_server = &tcp;
   std::signal(SIGINT, handle_sigint);
-  std::printf("serving %s on 127.0.0.1:%d (%d workers, batch %d, %s, %s)\n",
-              args.get("in").c_str(), tcp.port(), server.config().num_workers,
-              server.config().max_batch,
-              cfg.reuse ? "incremental reuse" : "no-reuse baseline",
-              quant::precision_name(cfg.precision));
+  std::printf(
+      "serving %s on 127.0.0.1:%d (%d workers, batch %d, %s, %s, reform %s, "
+      "admit %s)\n",
+      args.get("in").c_str(), tcp.port(), server.config().num_workers,
+      server.config().max_batch,
+      cfg.reuse ? "incremental reuse" : "no-reuse baseline",
+      quant::precision_name(cfg.precision),
+      server.config().reform != 0 ? "on" : "off",
+      serve::admit_policy_name(server.config().admit));
   std::fflush(stdout);
 
   // Optional periodic metrics dump. The dumper sleeps on a condition
@@ -452,7 +480,8 @@ int main(int argc, char** argv) {
       "in",      "distill-epochs", "train-per-class", "seed",
       "deadline-ms", "port",       "workers",         "batch",
       "confidence",  "mac-budget", "no-reuse",        "metrics-dump-sec",
-      "precision",   "slo-objective", "postmortem-dump"};
+      "precision",   "slo-objective", "postmortem-dump",
+      "reform",      "admit"};
   CliArgs args(argc, argv, known);
   if (!args.ok()) {
     for (const auto& e : args.errors()) std::fprintf(stderr, "%s\n", e.c_str());
