@@ -562,7 +562,8 @@ void run_i8_sweep() {
 // Transposed activation-quantization gather (ISSUE 9): the int8 Conv2d path
 // quantizes the im2col column matrix (k x m) row-by-row into u8; the scalar
 // reference pays one strided load per element, the shipped kernel transposes
-// 4x4 blocks in registers. Codes must match bit-for-bit.
+// 4x4 blocks in registers (8x8 on the AVX2+ tier, ISSUE 10). Codes must
+// match bit-for-bit regardless of the active tier.
 // ---------------------------------------------------------------------------
 
 void run_transposed_quant_sweep() {
@@ -596,9 +597,9 @@ void run_transposed_quant_sweep() {
     const bool match = q_ref == q_vec;
     all_match = all_match && match;
     std::printf(
-        "i8 tq m=%d k=%d scalar=%.0fns vec=%.0fns speedup=%.2fx %s\n", s.m,
-        s.k, ref_s * 1e9, vec_s * 1e9, ref_s / vec_s,
-        match ? "codes=ok" : "codes=MISMATCH");
+        "i8 tq isa=%s m=%d k=%d scalar=%.0fns vec=%.0fns speedup=%.2fx %s\n",
+        isa_tier_name(isa_tier()), s.m, s.k, ref_s * 1e9, vec_s * 1e9,
+        ref_s / vec_s, match ? "codes=ok" : "codes=MISMATCH");
   }
   // CI greps this exact line: vectorized gather vs scalar reference codes.
   std::printf("i8 tq parity=%s\n", all_match ? "ok" : "MISMATCH");

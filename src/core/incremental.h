@@ -55,10 +55,24 @@ std::int64_t ladder_step_macs(Network& net, int from, int to);
 ///
 /// Input identity is tracked by a cheap fingerprint (shape + a 64-bit FNV-1a
 /// hash of the bytes) rather than a retained deep copy, so long-lived
-/// per-worker executors do not hold an extra input-sized buffer each. A hash
-/// collision (probability ~2^-64 per changed input) would silently reuse the
-/// stale cache; call reset() between inputs to bypass the fingerprint
-/// entirely when that risk is unacceptable.
+/// per-worker executors do not hold an extra input-sized buffer each. The
+/// fingerprint is WHOLE-INPUT: any changed byte invalidates the entire
+/// cache. Per-REGION reuse — keeping clean spatial tiles of the cached
+/// activations when only part of the input changed — is deliberately NOT
+/// this class's job; it lives in src/stream/ (ISSUE 10), which fingerprints
+/// per tile and re-runs only dirty regions through Conv2d::forward_delta.
+/// A hash collision (probability ~2^-64 per changed input) would silently
+/// reuse the stale cache; call reset() between inputs to bypass the
+/// fingerprint entirely when that risk is unacceptable.
+///
+/// The input fingerprint does NOT cover the weights. Cached activations are
+/// stale the moment any Param changes (SGD step, deserialize) — executors
+/// are inference-side objects and must be reset (or discarded) after
+/// training steps. Long-lived holders that cannot see the training loop
+/// track staleness via the Param::version counters instead:
+/// stream::network_signature() snapshots all versions and src/stream/
+/// rebuilds cold on any mismatch (regression-tested in tests/stream_test.cc,
+/// SignatureBumpInvalidates).
 class IncrementalExecutor {
  public:
   explicit IncrementalExecutor(Network& net);

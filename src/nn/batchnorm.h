@@ -24,6 +24,12 @@ class BatchNorm2d final : public Layer {
   IOSpec wire(const IOSpec& in, Rng& rng) override;
   Tensor forward(const Tensor& x, const SubnetContext& ctx) override;
   Tensor backward(const Tensor& grad_y, const SubnetContext& ctx) override;
+  /// Inference BN is elementwise per channel (running statistics do not
+  /// depend on the current input), so a dirty input element dirties exactly
+  /// itself. Streaming delta runs inference-only, where this holds.
+  SpatialRegion propagate_dirty_region(const SpatialRegion& in) const override {
+    return in;
+  }
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
   void prepare_lr_suppression(int num_subnets, double beta) override;
   void activate_lr_scale(int k) override;

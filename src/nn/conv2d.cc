@@ -168,6 +168,67 @@ Tensor Conv2d::backward(const Tensor& grad_y_in, const SubnetContext& ctx) {
   return grad_x;
 }
 
+Tensor Conv2d::forward_delta(const Tensor& x, const Tensor& cached_y,
+                             const SpatialRegion& out_region,
+                             const SubnetContext& ctx) {
+  assert(!ctx.training);
+  // Fall back to a full pass whenever the cached plane cannot be spliced
+  // into: no cache, head semantics, int8 precision (delta reuse is an fp32
+  // bitwise property, like incremental step-up), a degenerate region, or a
+  // region that already covers the plane.
+  const int oh = geom_.out_h(), ow = geom_.out_w();
+  const SpatialRegion reg = out_region.clipped(oh, ow);
+  const bool int8_pass = ctx.precision == quant::Precision::kInt8 &&
+                         ctx.calibration != nullptr;
+  if (cached_y.empty() || is_head_ || int8_pass || ctx.calib_record != nullptr ||
+      reg.covers(oh, ow)) {
+    return forward(x, ctx);
+  }
+  assert(x.rank() == 4 && x.dim(1) == geom_.in_c &&
+         cached_y.shape() == std::vector<int>({x.dim(0), units_, oh, ow}));
+  Tensor y = cached_y;  // splice target: clean positions keep frame t's bits
+  if (reg.empty()) return y;  // nothing dirty reaches this layer
+  const int n = x.dim(0);
+  const Tensor& w = effective_weights();
+  const auto& active = active_flags(ctx.subnet_id);
+  const int rw = reg.width();
+  const std::int64_t area = reg.area();
+  ArenaScope ws;
+  const std::int64_t patch = geom_.patch();
+  float* cols = ws.alloc_floats(static_cast<std::size_t>(patch) * area);
+  float* part = ws.alloc_floats(static_cast<std::size_t>(units_) * area);
+  const std::int64_t in_img = static_cast<std::int64_t>(geom_.in_c) * geom_.in_h *
+                              geom_.in_w;
+  const std::int64_t out_img = static_cast<std::int64_t>(units_) * oh * ow;
+  for (int i = 0; i < n; ++i) {
+    // Lower only the dirty output positions; the resulting columns are
+    // byte-identical to the corresponding columns of the full im2col, and
+    // each GEMM output element's FP sequence depends only on its own column
+    // (tensor/gemm_kernel.h), so `part` carries exactly the bits a full
+    // forward would put at those positions.
+    im2col_region(x.data() + i * in_img, geom_, reg, cols);
+    // The kernel accumulates into C (the full path hands it a zero-filled
+    // tensor); arena scratch must be zeroed the same way each image.
+    std::memset(part, 0,
+                sizeof(float) * static_cast<std::size_t>(units_) * area);
+    gemm_rows_bias(w.data(), cols, part, units_, static_cast<int>(patch),
+                   static_cast<int>(area), active.data(), bias_.value.data(),
+                   /*relu=*/false);
+    float* yi = y.data() + i * out_img;
+    for (int u = 0; u < units_; ++u) {
+      if (!active[static_cast<std::size_t>(u)]) continue;  // stays zero
+      const float* prow = part + static_cast<std::size_t>(u) * area;
+      float* plane = yi + static_cast<std::int64_t>(u) * oh * ow;
+      for (int r = reg.r0; r < reg.r1; ++r) {
+        std::memcpy(plane + static_cast<std::size_t>(r) * ow + reg.c0,
+                    prow + static_cast<std::size_t>(r - reg.r0) * rw,
+                    sizeof(float) * static_cast<std::size_t>(rw));
+      }
+    }
+  }
+  return y;
+}
+
 Tensor Conv2d::forward_step(const Tensor& x, const Tensor& cached_y,
                             int from_subnet, const SubnetContext& ctx) {
   assert(!ctx.training);

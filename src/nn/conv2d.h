@@ -25,6 +25,15 @@ class Conv2d final : public MaskedLayer {
   Tensor backward(const Tensor& grad_y, const SubnetContext& ctx) override;
   Tensor forward_step(const Tensor& x, const Tensor& cached_y, int from_subnet,
                       const SubnetContext& ctx) override;
+  SpatialRegion propagate_dirty_region(const SpatialRegion& in) const override {
+    return conv_dirty_out_region(geom_, in);
+  }
+  /// Delta recompute saves real MACs here (the body convs dominate the MAC
+  /// budget); heads are recomputed in full per subnet, so they opt out.
+  bool supports_spatial_delta() const override { return !is_head(); }
+  Tensor forward_delta(const Tensor& x, const Tensor& cached_y,
+                       const SpatialRegion& out_region,
+                       const SubnetContext& ctx) override;
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<Conv2d>(*this);
   }

@@ -24,6 +24,10 @@ class DepthwiseConv2d final : public MaskedLayer {
   Tensor backward(const Tensor& grad_y, const SubnetContext& ctx) override;
   Tensor forward_step(const Tensor& x, const Tensor& cached_y, int from_subnet,
                       const SubnetContext& ctx) override;
+  /// Same receptive-field geometry as a regular convolution (per channel).
+  SpatialRegion propagate_dirty_region(const SpatialRegion& in) const override {
+    return conv_dirty_out_region(geom_, in);
+  }
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<DepthwiseConv2d>(*this);
   }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "quant/policy.h"
+#include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -117,6 +118,50 @@ class Layer {
                               int from_subnet, const SubnetContext& ctx) {
     (void)cached_y;
     (void)from_subnet;
+    return forward(x, ctx);
+  }
+
+  // ---- Streaming delta inference (ISSUE 10) ------------------------------
+  // A temporal stream presents near-duplicate inputs frame after frame. The
+  // stream executor (src/stream/) tracks which spatial rectangle of the
+  // CURRENT layer input differs from the previous frame and threads it
+  // through these hooks: propagate_dirty_region() maps an input-plane dirty
+  // rect to the output positions it can influence, and forward_delta()
+  // recomputes ONLY those positions, splicing them into the cached previous-
+  // frame output. Every spliced tensor is exact (the untouched elements read
+  // only clean input, so their cached bits are what a full pass would
+  // produce), which is why the default forward_delta can simply run the full
+  // forward: its input is already bitwise-identical to a cold pass's.
+
+  /// Map a dirty region of this layer's input plane to the output region the
+  /// dirty values can reach. Must be CONSERVATIVE (may over-approximate,
+  /// never under-approximate). The default — the whole output plane — is
+  /// correct for any layer; locality-preserving layers override:
+  /// elementwise layers (ReLU, inference BatchNorm) propagate the region
+  /// unchanged, pooling divides it by the pool size, convolutions expand it
+  /// by the receptive-field halo (conv_dirty_out_region).
+  virtual SpatialRegion propagate_dirty_region(const SpatialRegion& in) const {
+    (void)in;
+    const IOSpec& s = out_spec();
+    return SpatialRegion::full(s.h, s.w);
+  }
+
+  /// True when forward_delta() actually saves compute for a sub-plane
+  /// region (today: non-head Conv2d). Layers answering false still take
+  /// part in streaming via propagate_dirty_region(); the executor just runs
+  /// their plain forward on the (exact) spliced input.
+  virtual bool supports_spatial_delta() const { return false; }
+
+  /// Recompute only `out_region` of this layer's output for the new input
+  /// `x`, reusing `cached_y` — the layer's full output for the PREVIOUS
+  /// frame at the same subnet level — everywhere else. `out_region` must
+  /// come from propagate_dirty_region() of the input's dirty rect, and the
+  /// result must be bitwise identical to forward(x, ctx). Inference only.
+  virtual Tensor forward_delta(const Tensor& x, const Tensor& cached_y,
+                               const SpatialRegion& out_region,
+                               const SubnetContext& ctx) {
+    (void)cached_y;
+    (void)out_region;
     return forward(x, ctx);
   }
 

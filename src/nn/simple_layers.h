@@ -20,6 +20,10 @@ class ReLU final : public Layer {
   Tensor forward(const Tensor& x, const SubnetContext& ctx) override;
   Tensor backward(const Tensor& grad_y, const SubnetContext& ctx) override;
   bool is_relu() const override { return true; }
+  /// Elementwise: a dirty input element dirties exactly itself.
+  SpatialRegion propagate_dirty_region(const SpatialRegion& in) const override {
+    return in;
+  }
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<ReLU>(*this);
   }
@@ -36,6 +40,15 @@ class MaxPool2d final : public Layer {
   IOSpec wire(const IOSpec& in, Rng& rng) override;
   Tensor forward(const Tensor& x, const SubnetContext& ctx) override;
   Tensor backward(const Tensor& grad_y, const SubnetContext& ctx) override;
+  /// Non-overlapping kxk window, stride k: output (r, c) reads input
+  /// [r*k, r*k + k) x [c*k, c*k + k), so dirty input [i0, i1) maps to
+  /// output [i0 / k, ceil(i1 / k)).
+  SpatialRegion propagate_dirty_region(const SpatialRegion& in) const override {
+    const IOSpec& s = out_spec();
+    SpatialRegion r{in.r0 / k_, (in.r1 + k_ - 1) / k_, in.c0 / k_,
+                    (in.c1 + k_ - 1) / k_};
+    return r.clipped(s.h, s.w);
+  }
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<MaxPool2d>(*this);
   }

@@ -36,6 +36,8 @@ const char* flight_event_name(FlightEventKind k) {
     case FlightEventKind::kFinalPublish: return "final_publish";
     case FlightEventKind::kAdmitDecision: return "admit_decision";
     case FlightEventKind::kBatchRejoin: return "batch_rejoin";
+    case FlightEventKind::kStreamFrame: return "stream_frame";
+    case FlightEventKind::kDeltaReuse: return "delta_reuse";
   }
   return "unknown";
 }
@@ -233,6 +235,16 @@ void append_event_json(std::string& out, const FlightEvent& e) {
       out += ",\"batch_id\":" + std::to_string(e.a0) +
              ",\"size\":" + std::to_string(e.a1) +
              ",\"level\":" + std::to_string(e.a2);
+      break;
+    case FlightEventKind::kStreamFrame:
+      out += ",\"stream_id\":" + std::to_string(e.a0) +
+             ",\"dirty_tiles\":" + std::to_string(e.a1) +
+             ",\"level\":" + std::to_string(e.a2);
+      break;
+    case FlightEventKind::kDeltaReuse:
+      out += ",\"macs_saved\":" + std::to_string(e.a0) +
+             ",\"macs\":" + std::to_string(e.a1) +
+             ",\"reused\":" + std::to_string(e.a2);
       break;
   }
   out += "}";

@@ -59,6 +59,14 @@ enum class FlightEventKind : int {
   /// micro-batch after a ladder step; a0 = batch id, a1 = batch size,
   /// a2 = subnet level the re-formed batch steps to.
   kBatchRejoin = 9,
+  /// Streaming inference (ISSUE 10): the request was served as one frame of
+  /// a temporal stream; a0 = stream id, a1 = dirty tiles in this frame's
+  /// diff (0 on a cold rebuild or an unchanged frame), a2 = subnet level.
+  kStreamFrame = 10,
+  /// Streaming inference (ISSUE 10): the delta path's reuse accounting for
+  /// one frame; a0 = MACs saved vs a full pass, a1 = MACs executed,
+  /// a2 = 1 when previous-frame state was reused (0 = cold rebuild).
+  kDeltaReuse = 11,
 };
 
 /// Why a request stopped climbing the ladder.

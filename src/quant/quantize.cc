@@ -10,6 +10,10 @@
 #include <emmintrin.h>
 #endif
 
+#if defined(STEPPING_QUANT_HAVE_AVX2)
+#include "tensor/gemm_isa.h"
+#endif
+
 namespace stepping::quant {
 
 int quantize_value(float x, float inv_scale, int zp, int lo, int hi) {
@@ -59,6 +63,10 @@ void quantize_weights(const float* wt, int n, int k, bool per_channel,
   }
 }
 
+}  // namespace
+
+namespace detail {
+
 /// Quantize one contiguous row of `k` floats to u8 codes, zero-padding to
 /// `k4`. Bit-exact with quantize_value on every input: _mm_cvtps_epi32
 /// rounds half to even under the default FP environment (the same tie rule
@@ -103,7 +111,9 @@ void quantize_row(const float* row, int k, int k4, float inv, int zp,
   for (int q = k; q < k4; ++q) dst[q] = 0;  // pairs with zero weight pads
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::quantize_row;
 
 void quantize_weights_per_channel(const float* wt, int n, int k,
                                   WeightQuant* out) {
@@ -153,6 +163,15 @@ void quantize_activations_transposed_ref(const float* x, int m, int k, int k4,
 
 void quantize_activations_transposed(const float* x, int m, int k, int k4,
                                      const ActQuant& aq, std::uint8_t* out) {
+#if defined(STEPPING_QUANT_HAVE_AVX2)
+  // 8-wide gather (quantize_avx2.cc, its own -mavx2 TU) when the running CPU
+  // selected the AVX2+ tier; codes are identical because the rounding still
+  // funnels through detail::quantize_row.
+  if (m >= 8 && isa_tier() >= IsaTier::kAvx2) {
+    detail::quantize_activations_transposed_avx2(x, m, k, k4, aq, out);
+    return;
+  }
+#endif
 #if defined(__SSE2__)
   // The scalar gather is one strided load per element — it, not the
   // rounding, dominates this kernel (bench_ops --i8 measures the gap). Walk

@@ -69,8 +69,10 @@ void quantize_activations(const float* x, int m, int k, int k4,
 
 /// Same, but x is stored transposed (k x m — the im2col column matrix with
 /// `m` spatial positions of `k`-deep patches): out(i, p) = q(x(p, i)).
-/// The gather is vectorized with 4x4 in-register block transposes (ISSUE 9);
-/// codes are bit-exact with the reference below on every input.
+/// The gather is vectorized with in-register block transposes — 4x4 SSE
+/// (ISSUE 9), widened to 8x8 AVX2 when the runtime ISA tier allows
+/// (ISSUE 10). Codes are bit-exact with the reference below on every input
+/// and across tiers: every variant funnels through detail::quantize_row.
 void quantize_activations_transposed(const float* x, int m, int k, int k4,
                                      const ActQuant& aq, std::uint8_t* out);
 
@@ -79,6 +81,27 @@ void quantize_activations_transposed(const float* x, int m, int k, int k4,
 void quantize_activations_transposed_ref(const float* x, int m, int k, int k4,
                                          const ActQuant& aq,
                                          std::uint8_t* out);
+
+namespace detail {
+
+/// Quantize one contiguous row of `k` floats to u8 codes, zero-padding to
+/// `k4`. The SINGLE rounding/packing implementation every gather variant
+/// (dense, SSE 4x4, AVX2 8x8) funnels through — bit-exact with
+/// quantize_value on every input, so wider gathers can never change codes.
+void quantize_row(const float* row, int k, int k4, float inv, int zp,
+                  std::uint8_t* dst);
+
+/// AVX2 widening of the transposed gather (ISSUE 10): 8x8 in-register block
+/// transposes (unpack + permute2f128) instead of the SSE path's 4x4, halving
+/// the shuffle count per element. Only compiled when the toolchain supports
+/// -mavx2 (STEPPING_QUANT_HAVE_AVX2); callers go through
+/// quantize_activations_transposed, which dispatches on the runtime ISA
+/// tier. Requires m >= 8.
+void quantize_activations_transposed_avx2(const float* x, int m, int k,
+                                          int k4, const ActQuant& aq,
+                                          std::uint8_t* out);
+
+}  // namespace detail
 
 /// Dequantize accumulators into y (m x n row-major): for active columns j,
 /// y(i,j) = float(acc(i,j) - zp*wsum[j]) * (sa*scale[j]) + bias[j], ReLU

@@ -1,0 +1,110 @@
+// AVX2 gather for the transposed activation-quantization path (ISSUE 10).
+//
+// Compiled as its own translation unit with -mavx2 (see CMakeLists.txt — the
+// same per-TU flag idiom as src/tensor's GEMM micro-kernels) so the rest of
+// stepping_quant keeps the portable baseline flags. Only the GATHER widens:
+// each 8x8 block of the k x m source is loaded with 8 contiguous vector
+// loads and transposed in registers (unpack + shuffle + permute2f128),
+// replacing 64 strided scalar loads. The rounding/packing still runs through
+// detail::quantize_row, the single compiled rounding core, so the emitted
+// codes are bit-exact with the SSE 4x4 path and the scalar reference —
+// switching ISA tiers can never change int8 results (the cross-provider
+// determinism contract in quantize.h).
+#include "quant/quantize.h"
+
+#if defined(STEPPING_QUANT_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace stepping::quant::detail {
+
+namespace {
+
+/// Transpose eight __m256 rows in place: on exit r[j] holds the j-th column
+/// of the original 8x8 block. 8 unpacks + 8 shuffles + 8 lane permutes.
+inline void transpose8x8(__m256& r0, __m256& r1, __m256& r2, __m256& r3,
+                         __m256& r4, __m256& r5, __m256& r6, __m256& r7) {
+  const __m256 u0 = _mm256_unpacklo_ps(r0, r1);
+  const __m256 u1 = _mm256_unpackhi_ps(r0, r1);
+  const __m256 u2 = _mm256_unpacklo_ps(r2, r3);
+  const __m256 u3 = _mm256_unpackhi_ps(r2, r3);
+  const __m256 u4 = _mm256_unpacklo_ps(r4, r5);
+  const __m256 u5 = _mm256_unpackhi_ps(r4, r5);
+  const __m256 u6 = _mm256_unpacklo_ps(r6, r7);
+  const __m256 u7 = _mm256_unpackhi_ps(r6, r7);
+  const __m256 s0 = _mm256_shuffle_ps(u0, u2, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s1 = _mm256_shuffle_ps(u0, u2, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 s2 = _mm256_shuffle_ps(u1, u3, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s3 = _mm256_shuffle_ps(u1, u3, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 s4 = _mm256_shuffle_ps(u4, u6, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s5 = _mm256_shuffle_ps(u4, u6, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 s6 = _mm256_shuffle_ps(u5, u7, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s7 = _mm256_shuffle_ps(u5, u7, _MM_SHUFFLE(3, 2, 3, 2));
+  r0 = _mm256_permute2f128_ps(s0, s4, 0x20);
+  r1 = _mm256_permute2f128_ps(s1, s5, 0x20);
+  r2 = _mm256_permute2f128_ps(s2, s6, 0x20);
+  r3 = _mm256_permute2f128_ps(s3, s7, 0x20);
+  r4 = _mm256_permute2f128_ps(s0, s4, 0x31);
+  r5 = _mm256_permute2f128_ps(s1, s5, 0x31);
+  r6 = _mm256_permute2f128_ps(s2, s6, 0x31);
+  r7 = _mm256_permute2f128_ps(s3, s7, 0x31);
+}
+
+}  // namespace
+
+void quantize_activations_transposed_avx2(const float* x, int m, int k,
+                                          int k4, const ActQuant& aq,
+                                          std::uint8_t* out) {
+  const float inv = 1.0f / aq.scale;
+  const int zp = aq.zero_point;
+  std::vector<float> tmp(8 * static_cast<std::size_t>(k));
+  float* rows[8];
+  for (int j = 0; j < 8; ++j) rows[j] = tmp.data() + j * static_cast<std::size_t>(k);
+  int i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const float* col = x + i;
+    int p = 0;
+    for (; p + 8 <= k; p += 8) {
+      const float* blk = col + static_cast<std::size_t>(p) * m;
+      __m256 r0 = _mm256_loadu_ps(blk);
+      __m256 r1 = _mm256_loadu_ps(blk + static_cast<std::size_t>(m));
+      __m256 r2 = _mm256_loadu_ps(blk + 2 * static_cast<std::size_t>(m));
+      __m256 r3 = _mm256_loadu_ps(blk + 3 * static_cast<std::size_t>(m));
+      __m256 r4 = _mm256_loadu_ps(blk + 4 * static_cast<std::size_t>(m));
+      __m256 r5 = _mm256_loadu_ps(blk + 5 * static_cast<std::size_t>(m));
+      __m256 r6 = _mm256_loadu_ps(blk + 6 * static_cast<std::size_t>(m));
+      __m256 r7 = _mm256_loadu_ps(blk + 7 * static_cast<std::size_t>(m));
+      transpose8x8(r0, r1, r2, r3, r4, r5, r6, r7);
+      _mm256_storeu_ps(rows[0] + p, r0);
+      _mm256_storeu_ps(rows[1] + p, r1);
+      _mm256_storeu_ps(rows[2] + p, r2);
+      _mm256_storeu_ps(rows[3] + p, r3);
+      _mm256_storeu_ps(rows[4] + p, r4);
+      _mm256_storeu_ps(rows[5] + p, r5);
+      _mm256_storeu_ps(rows[6] + p, r6);
+      _mm256_storeu_ps(rows[7] + p, r7);
+    }
+    for (; p < k; ++p) {  // k-tail: one strided source row, 8 scalar stores
+      const float* row = col + static_cast<std::size_t>(p) * m;
+      for (int j = 0; j < 8; ++j) rows[j][p] = row[j];
+    }
+    for (int j = 0; j < 8; ++j) {
+      quantize_row(rows[j], k, k4, inv, zp,
+                   out + static_cast<std::size_t>(i + j) * k4);
+    }
+  }
+  for (; i < m; ++i) {  // m-tail keeps the original column stride
+    for (int p = 0; p < k; ++p) {
+      rows[0][p] = x[static_cast<std::size_t>(p) * m + i];
+    }
+    quantize_row(rows[0], k, k4, inv, zp,
+                 out + static_cast<std::size_t>(i) * k4);
+  }
+}
+
+}  // namespace stepping::quant::detail
+
+#endif  // STEPPING_QUANT_HAVE_AVX2

@@ -85,6 +85,16 @@ double Planner::ladder_ms(int level, int batch) const {
   return ms;
 }
 
+double Planner::stream_delta_ms(int level, double dirty_frac, int batch) const {
+  assert(level >= 1 && level <= max_level());
+  const double frac = std::clamp(dirty_frac, 0.0, 1.0);
+  const std::int64_t full = costs_.full[static_cast<std::size_t>(level - 1)];
+  const std::int64_t body = costs_.body[static_cast<std::size_t>(level - 1)];
+  const double macs =
+      static_cast<double>(body) * frac + static_cast<double>(full - body);
+  return dev_.latency_ms(static_cast<std::int64_t>(macs) * batch);
+}
+
 int Planner::target_level(double remaining_ms, int batch) const {
   int target = 0;
   double ms = 0.0;

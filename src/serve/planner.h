@@ -88,6 +88,15 @@ class Planner {
   /// (each step pays the device's fixed per-pass overhead once).
   double ladder_ms(int level, int batch = 1) const;
 
+  /// Streaming delta pass pricing (ISSUE 10): one frame whose dirty region
+  /// covers `dirty_frac` of the spatial plane recomputes roughly that
+  /// fraction of the body convs plus the full head, so the estimate is
+  ///   body(level) * dirty_frac + (full(level) - body(level))
+  /// converted to wall-clock. `dirty_frac` is clamped to [0, 1]; 1 prices a
+  /// cold rebuild (== the from-scratch full pass). The server uses this to
+  /// decide whether a delta pass beats re-entering the batched ladder.
+  double stream_delta_ms(int level, double dirty_frac, int batch = 1) const;
+
   /// Highest level reachable by stepping 1..L within `remaining_ms`.
   /// Returns 0 when even level 1 does not fit — the server still runs
   /// level 1 (an anytime result is always produced) but counts the request

@@ -32,6 +32,7 @@ struct Job {
   double submit_ms = 0.0;       ///< admission time
   double deadline_abs_ms = 0.0; ///< absolute deadline; <= 0 means none
   std::int64_t mac_budget = 0;  ///< resolved budget; 0 = unlimited
+  std::uint64_t stream_id = 0;  ///< stream session (ISSUE 10); 0 = not a frame
   obs::FlightHandle flight;     ///< flight-recorder slot (null: not recorded)
   std::function<void(const StepUpdate&)> on_step;
   std::promise<ServedResult> promise;

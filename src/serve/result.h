@@ -35,6 +35,13 @@ struct Request {
   /// Per-request MAC budget; 0 falls back to ServeConfig::default_mac_budget
   /// (where 0 again means unlimited).
   std::int64_t mac_budget = 0;
+  /// Stream session id (ISSUE 10). Non-zero marks this input as one frame of
+  /// a temporal stream: when the server runs with STEPPING_STREAM=exact, the
+  /// frame is diffed against the stream's previous frame and only dirty
+  /// tiles (+ receptive-field halos) are recomputed — bitwise identical to a
+  /// full pass. 0 (default) serves the request through the ordinary batched
+  /// ladder.
+  std::uint64_t stream_id = 0;
   /// Optional anytime callback: invoked once per executed level while the
   /// request is alive, including the preliminary smallest-subnet result and
   /// the final one. Called from a worker thread; must be cheap and

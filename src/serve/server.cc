@@ -147,6 +147,14 @@ Server::Server(const Network& model, ServeConfig cfg)
     parse_admit_policy(env_or("STEPPING_ADMIT", "off"), &p);
     cfg_.admit = p;
   }
+  // Streaming inference (ISSUE 10): resolve the env surface once, like
+  // reform/admit above. The delta path is an fp32 bitwise property, so int8
+  // ladders keep stream ids inert (kAuto still qualifies — its finals are
+  // fp32, and stream frames skip the int8 preliminary entirely).
+  stream_cfg_ = stream::stream_config_from_env();
+  if (cfg_.stream >= 0) stream_cfg_.enabled = cfg_.stream != 0;
+  if (cfg_.precision == quant::Precision::kInt8) stream_cfg_.enabled = false;
+  cfg_.stream = stream_cfg_.enabled ? 1 : 0;
   if (cfg_.reform != 0) {
     runq_ =
         std::make_unique<LevelRunQueue>(cfg_.queue_capacity, cfg_.max_subnet);
@@ -220,6 +228,12 @@ Server::Server(const Network& model, ServeConfig cfg)
   urgent_slack_ms_ =
       2.0 * planner_->predicted_level_ms(1, cfg_.max_batch, ladder_mode());
 
+  if (stream_cfg_.enabled) {
+    stream_cache_ =
+        std::make_unique<stream::StreamStateCache>(stream_cfg_.capacity);
+    stream_sig_ = stream::network_signature(replicas_.front());
+  }
+
   // Resolve every metric handle up front; workers only touch atomics.
   m_.submitted = &registry_.counter("serve_submitted_total");
   m_.rejected = &registry_.counter("serve_rejected_total");
@@ -235,6 +249,12 @@ Server::Server(const Network& model, ServeConfig cfg)
   m_.admit_accepted = &registry_.counter("serve_admit_accepted_total");
   m_.admit_degraded = &registry_.counter("serve_admit_degraded_total");
   m_.admit_rejected = &registry_.counter("serve_admit_rejected_total");
+  m_.stream_frames = &registry_.counter("serve_stream_frames_total");
+  m_.stream_hits = &registry_.counter("serve_stream_cache_hits_total");
+  m_.stream_misses = &registry_.counter("serve_stream_cache_misses_total");
+  m_.stream_dirty_tiles = &registry_.counter("serve_stream_dirty_tiles_total");
+  m_.stream_macs_saved = &registry_.counter("serve_stream_macs_saved_total");
+  m_.stream_cold = &registry_.counter("serve_stream_cold_total");
   m_.queue_depth = &registry_.gauge("serve_queue_depth");
   m_.peak_queue_depth = &registry_.gauge("serve_peak_queue_depth");
   m_.slo_hit_rate_ppm = &registry_.gauge("serve_slo_hit_rate_ppm");
@@ -322,6 +342,7 @@ std::future<ServedResult> Server::submit(Request req) {
   job.deadline_abs_ms = deadline > 0.0 ? job.submit_ms + deadline : 0.0;
   job.mac_budget =
       req.mac_budget > 0 ? req.mac_budget : cfg_.default_mac_budget;
+  job.stream_id = req.stream_id;
   job.on_step = std::move(req.on_step);
   job.flight = flight_.begin(job.seq, job.submit_ms, job.deadline_abs_ms,
                              job.mac_budget);
@@ -487,8 +508,154 @@ void Server::worker_main(std::size_t worker_id) {
     if (!got) break;
     obs::trace_counter("serve.queue_depth",
                        static_cast<std::int64_t>(queue_.depth()));
-    process_batch(net, ex, batch, worker_id);
+    peel_stream_jobs(net, batch, worker_id);
+    if (!batch.empty()) process_batch(net, ex, batch, worker_id);
   }
+}
+
+std::size_t Server::peel_stream_jobs(Network& net, std::vector<Job>& jobs,
+                                     std::size_t worker_id) {
+  if (!stream_cfg_.enabled) return 0;
+  std::size_t served = 0;
+  std::size_t keep = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (jobs[j].stream_id != 0) {
+      process_stream_job(net, jobs[j], worker_id);
+      ++served;
+    } else {
+      if (keep != j) jobs[keep] = std::move(jobs[j]);
+      ++keep;
+    }
+  }
+  jobs.resize(keep);
+  return served;
+}
+
+void Server::process_stream_job(Network& net, Job& job,
+                                std::size_t worker_id) {
+  obs::TraceScope frame_span("serve.stream_frame", "serve");
+  const double start_ms = now_ms();
+  flight_.event(job.flight, obs::FlightEventKind::kAdmit, start_ms,
+                static_cast<std::int64_t>(worker_id));
+
+  // Plan the frame's level from the remaining deadline, like a batch-of-one
+  // admission; the admission-control degrade cap still applies.
+  const double remaining = job.deadline_abs_ms > 0.0
+                               ? job.deadline_abs_ms - start_ms
+                               : kNoDeadline;
+  int target = planner_->target_level(remaining, 1);
+  if (job.admit_target > 0) target = std::min(target, job.admit_target);
+  target = std::max(1, target);
+  flight_.set_batch(job.flight, next_batch_id_.fetch_add(1), 1, target,
+                    static_cast<int>(cfg_.precision), isa_tier_int_);
+
+  bool hit = false;
+  std::shared_ptr<stream::StreamState> state =
+      stream_cache_->acquire(job.stream_id, &hit);
+  stream::StreamResult r;
+  {
+    // Frames of ONE stream serialize here; different streams (and the
+    // batched ladder on other workers) proceed concurrently. Each worker's
+    // replica is bitwise-identical (clone()), so whichever worker picks up
+    // the next frame can reuse this one's state.
+    std::lock_guard<std::mutex> lock(state->mu);
+    flight_.event(job.flight, obs::FlightEventKind::kStepStart, now_ms(),
+                  target, 0, isa_tier_int_);
+    r = stream::stream_delta_forward(net, *state, job.input, target,
+                                     stream_cfg_, stream_sig_);
+  }
+  const double now = now_ms();
+  frame_span.arg("stream_id", static_cast<std::int64_t>(job.stream_id));
+  frame_span.arg("level", target);
+  frame_span.arg("dirty_tiles", r.dirty_tiles);
+  frame_span.arg("macs", r.macs);
+
+  Tensor probs;
+  softmax_rows(r.logits, probs);
+  const int classes = r.logits.dim(1);
+  double top1 = 0.0;
+  for (int k = 0; k < classes; ++k) {
+    top1 = std::max(top1, static_cast<double>(probs.at(0, k)));
+  }
+
+  const std::int64_t saved = r.full_macs - r.macs;
+  flight_.event(job.flight, obs::FlightEventKind::kStepEnd, now, target,
+                r.macs, conf_ppm(top1));
+  flight_.set_level(job.flight, target,
+                    planner_->stream_delta_ms(
+                        target, r.cold ? 1.0
+                                       : (r.total_tiles > 0
+                                              ? static_cast<double>(
+                                                    r.dirty_tiles) /
+                                                    r.total_tiles
+                                              : 0.0)),
+                    now - start_ms, r.macs);
+  flight_.event(job.flight, obs::FlightEventKind::kStreamFrame, now,
+                static_cast<std::int64_t>(job.stream_id), r.dirty_tiles,
+                target);
+  flight_.event(job.flight, obs::FlightEventKind::kDeltaReuse, now,
+                saved > 0 ? saved : 0, r.macs, r.cold ? 0 : 1);
+
+  const double first_ms = now - job.submit_ms;
+  const bool missed =
+      job.deadline_abs_ms > 0.0 && now > job.deadline_abs_ms;
+  const obs::HaltReason why = target >= cfg_.max_subnet
+                                  ? obs::HaltReason::kMaxLevel
+                                  : obs::HaltReason::kTarget;
+  flight_.event(job.flight, obs::FlightEventKind::kHalt, now,
+                static_cast<std::int64_t>(why), target);
+
+  StepUpdate update;
+  update.subnet = target;
+  update.at_ms = first_ms;
+  update.macs = r.macs;
+  update.confidence = top1;
+  update.final = true;
+  job.steps.push_back(update);
+  if (job.on_step) job.on_step(update);
+
+  // Counters BEFORE the promise, completed first — the same snapshot
+  // contract as the batched paths.
+  m_.completed->inc();
+  if (missed) m_.deadline_misses->inc();
+  m_.exits[static_cast<std::size_t>(target - 1)]->inc();
+  m_.batches->inc();
+  m_.batched_inputs->inc();
+  m_.total_macs->inc(static_cast<std::uint64_t>(r.macs));
+  m_.stream_frames->inc();
+  if (hit) {
+    m_.stream_hits->inc();
+  } else {
+    m_.stream_misses->inc();
+  }
+  m_.stream_dirty_tiles->inc(static_cast<std::uint64_t>(r.dirty_tiles));
+  if (saved > 0) m_.stream_macs_saved->inc(static_cast<std::uint64_t>(saved));
+  if (r.cold) m_.stream_cold->inc();
+  m_.step_passes[static_cast<std::size_t>(target - 1)]->inc();
+  m_.passes->inc();
+  m_.pass_rows->inc();
+  m_.level_ms[static_cast<std::size_t>(target - 1)]->observe(now - start_ms);
+
+  ServedResult res;
+  res.logits = std::move(r.logits);
+  res.exit_subnet = target;
+  res.confidence = top1;
+  res.macs = r.macs;
+  res.deadline_missed = missed;
+  res.queue_ms = start_ms - job.submit_ms;
+  res.first_result_ms = first_ms;
+  res.final_ms = first_ms;
+  m_.queue_ms->observe(res.queue_ms);
+  m_.first_result_ms->observe(res.first_result_ms);
+  m_.final_ms->observe(res.final_ms);
+  const double publish_ms = now_ms();
+  slo_.record(publish_ms, missed);
+  flight_.event(job.flight, obs::FlightEventKind::kFinalPublish, publish_ms,
+                target, missed ? 1 : 0);
+  flight_.finish(job.flight, target, why, missed, res.queue_ms, first_ms,
+                 first_ms);
+  res.steps = std::move(job.steps);
+  job.promise.set_value(std::move(res));
 }
 
 void Server::process_batch(Network& net, IncrementalExecutor& ex,
@@ -830,7 +997,11 @@ void Server::worker_main_reform(std::size_t worker_id) {
     if (!got) break;
     obs::trace_counter("serve.queue_depth",
                        static_cast<std::int64_t>(runq_->depth()));
-    process_level_batch(net, batch, worker_id);
+    // Stream frames ride the same queue but are served solo by the delta
+    // path; the run-queue's in-flight accounting still expects them back.
+    const std::size_t streamed = peel_stream_jobs(net, batch, worker_id);
+    if (streamed != 0) runq_->retire(streamed);
+    if (!batch.empty()) process_level_batch(net, batch, worker_id);
   }
 }
 

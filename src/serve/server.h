@@ -72,6 +72,7 @@
 #include "serve/planner.h"
 #include "serve/queue.h"
 #include "serve/result.h"
+#include "stream/stream.h"
 #include "util/timer.h"
 
 namespace stepping::serve {
@@ -153,6 +154,15 @@ struct ServeConfig {
   /// Predictive admission control (ISSUE 9); kEnv resolves from the
   /// STEPPING_ADMIT env var ("off" / "reject" / "degrade", default off).
   AdmitPolicy admit = AdmitPolicy::kEnv;
+  /// Streaming inference (ISSUE 10). 1: requests with Request::stream_id !=
+  /// 0 run the per-stream delta path — frame diffed against the stream's
+  /// cached previous frame, only dirty tiles + conv halos recomputed,
+  /// bitwise identical to a full pass. 0: stream ids are ignored. < 0
+  /// resolves from STEPPING_STREAM ("exact" enables; default off). Tile size
+  /// and stream-cache capacity come from STEPPING_STREAM_TILE /
+  /// STEPPING_STREAM_STREAMS. Only offered for the fp32 ladder — int8 rungs
+  /// never reuse (same reason the incremental executor is fp32-only).
+  int stream = -1;
 };
 
 /// Legacy aggregate view, assembled from the server's metrics registry.
@@ -269,6 +279,15 @@ class Server {
   void worker_main_reform(std::size_t worker_id);
   void process_level_batch(Network& net, std::vector<Job>& jobs,
                            std::size_t worker_id);
+  /// Streaming path (ISSUE 10): serve one stream frame solo through the
+  /// per-stream delta executor. Called by both worker loops for jobs with
+  /// stream_id != 0 when cfg_.stream is on.
+  void process_stream_job(Network& net, Job& job, std::size_t worker_id);
+  /// Split a popped batch: stream jobs (when enabled) are served by
+  /// process_stream_job and removed from `jobs`; the rest stay for the
+  /// batched ladder. Returns the number of stream jobs served.
+  std::size_t peel_stream_jobs(Network& net, std::vector<Job>& jobs,
+                               std::size_t worker_id);
   /// Ladder execution mode for planner predictions under this config.
   Planner::LadderMode ladder_mode() const;
   /// Waiting depth of whichever queue this config uses.
@@ -299,6 +318,14 @@ class Server {
   std::atomic<std::uint64_t> next_batch_id_{0};
   std::atomic<bool> stopped_{false};
 
+  /// Streaming inference state (ISSUE 10); cache non-null iff cfg_.stream.
+  /// The signature is computed once from the first replica — clone() copies
+  /// Param::version verbatim, so every replica agrees and stream state
+  /// migrates freely across workers (serve never trains).
+  stream::StreamConfig stream_cfg_;
+  std::unique_ptr<stream::StreamStateCache> stream_cache_;
+  std::vector<std::uint64_t> stream_sig_;
+
   obs::FlightRecorder flight_;
   obs::SloTracker slo_;
   int isa_tier_int_ = 0;  ///< cached tensor ISA tier, stamped into records
@@ -321,6 +348,15 @@ class Server {
     obs::Counter* admit_accepted = nullptr;
     obs::Counter* admit_degraded = nullptr;
     obs::Counter* admit_rejected = nullptr;
+    /// Streaming path (ISSUE 10): frames served, stream-cache hit/miss,
+    /// dirty tiles diffed, MACs the delta path saved vs full recompute, and
+    /// cold rebuilds (first frame / invalidation / level step-down).
+    obs::Counter* stream_frames = nullptr;
+    obs::Counter* stream_hits = nullptr;
+    obs::Counter* stream_misses = nullptr;
+    obs::Counter* stream_dirty_tiles = nullptr;
+    obs::Counter* stream_macs_saved = nullptr;
+    obs::Counter* stream_cold = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* peak_queue_depth = nullptr;
     /// SLO window gauges, refreshed at exposition time: hit rate in parts

@@ -215,6 +215,79 @@ void im2col(const float* x, const Conv2dGeometry& g, float* cols) {
   });
 }
 
+namespace {
+
+/// 1-D receptive-field intersection: output coords y (stride s, pad p,
+/// kernel k) reading any input coord in [i0, i1). Empty input -> empty.
+void dirty_out_axis(int i0, int i1, int k, int s, int p, int out_n, int* y0,
+                    int* y1) {
+  if (i1 <= i0) {
+    *y0 = *y1 = 0;
+    return;
+  }
+  // Overlap iff y*s - p < i1 AND y*s - p + k > i0.
+  //  * first dirty y: smallest y with y*s > i0 - k + p;
+  //  * first clean y after: smallest y with y*s - p >= i1.
+  const int lo_num = i0 - k + p;  // need y*s > lo_num
+  int lo = lo_num < 0 ? 0 : lo_num / s + 1;
+  const int hi_num = i1 + p;  // need y*s >= hi_num to be clean
+  int hi = hi_num <= 0 ? 0 : (hi_num + s - 1) / s;
+  if (lo < 0) lo = 0;
+  if (hi > out_n) hi = out_n;
+  *y0 = lo;
+  *y1 = hi < lo ? lo : hi;
+}
+
+}  // namespace
+
+SpatialRegion conv_dirty_out_region(const Conv2dGeometry& g,
+                                    const SpatialRegion& in) {
+  SpatialRegion out;
+  const SpatialRegion clipped = in.clipped(g.in_h, g.in_w);
+  dirty_out_axis(clipped.r0, clipped.r1, g.kernel, g.stride, g.pad, g.out_h(),
+                 &out.r0, &out.r1);
+  dirty_out_axis(clipped.c0, clipped.c1, g.kernel, g.stride, g.pad, g.out_w(),
+                 &out.c0, &out.c1);
+  if (out.empty()) return SpatialRegion{};
+  return out;
+}
+
+void im2col_region(const float* x, const Conv2dGeometry& g,
+                   const SpatialRegion& region, float* cols) {
+  STEPPING_TRACE_SCOPE_CAT("kernel", "im2col_region");
+  const SpatialRegion reg = region.clipped(g.out_h(), g.out_w());
+  if (reg.empty()) return;
+  const int rw = reg.width();
+  const std::int64_t spatial = reg.area();
+  const int kk = g.kernel * g.kernel;
+  // Same row-ownership partition as im2col: each patch row is written by
+  // exactly one chunk (and the values are pure copies, so the output is
+  // order-independent anyway).
+  parallel_for_cost(0, static_cast<std::int64_t>(g.in_c) * kk, spatial,
+                    [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const int c = static_cast<int>(r / kk);
+      const int kh = static_cast<int>((r / g.kernel) % g.kernel);
+      const int kw = static_cast<int>(r % g.kernel);
+      const float* xc = x + static_cast<std::size_t>(c) * g.in_h * g.in_w;
+      float* crow = cols + static_cast<std::size_t>(r) * spatial;
+      for (int y = reg.r0; y < reg.r1; ++y) {
+        const int iy = y * g.stride + kh - g.pad;
+        float* orow = crow + static_cast<std::size_t>(y - reg.r0) * rw;
+        if (iy < 0 || iy >= g.in_h) {
+          std::memset(orow, 0, sizeof(float) * static_cast<std::size_t>(rw));
+          continue;
+        }
+        const float* xrow = xc + static_cast<std::size_t>(iy) * g.in_w;
+        for (int xo = reg.c0; xo < reg.c1; ++xo) {
+          const int ix = xo * g.stride + kw - g.pad;
+          orow[xo - reg.c0] = (ix >= 0 && ix < g.in_w) ? xrow[ix] : 0.0f;
+        }
+      }
+    }
+  });
+}
+
 // col2im was left serial in ISSUE 1 because its scatter-add overlaps across
 // patch rows. The overlap is confined to ONE input channel, though: patch
 // row r = (c*k + kh)*k + kw only ever writes into channel c's plane, so

@@ -125,6 +125,53 @@ struct Conv2dGeometry {
 /// writes a (patch, out_h*out_w) column matrix.
 void im2col(const float* x, const Conv2dGeometry& g, float* cols);
 
+/// Half-open spatial rectangle [r0, r1) x [c0, c1) over one H x W plane —
+/// the dirty-region currency of the streaming delta path (ISSUE 10).
+struct SpatialRegion {
+  int r0 = 0, r1 = 0, c0 = 0, c1 = 0;
+
+  bool empty() const { return r1 <= r0 || c1 <= c0; }
+  int height() const { return r1 - r0; }
+  int width() const { return c1 - c0; }
+  std::int64_t area() const {
+    return empty() ? 0
+                   : static_cast<std::int64_t>(height()) * width();
+  }
+  bool covers(int h, int w) const {
+    return r0 <= 0 && c0 <= 0 && r1 >= h && c1 >= w;
+  }
+  SpatialRegion clipped(int h, int w) const {
+    SpatialRegion r{r0 < 0 ? 0 : r0, r1 > h ? h : r1, c0 < 0 ? 0 : c0,
+                    c1 > w ? w : c1};
+    return r;
+  }
+  static SpatialRegion full(int h, int w) { return {0, h, 0, w}; }
+
+  bool operator==(const SpatialRegion& o) const {
+    return r0 == o.r0 && r1 == o.r1 && c0 == o.c0 && c1 == o.c1;
+  }
+};
+
+/// Map a dirty INPUT region through a convolution: the returned OUTPUT
+/// region contains exactly the output positions whose receptive field
+/// intersects `in` (the "dirty tiles + halo" set — every other output
+/// element reads only clean input and keeps its cached value bit for bit).
+/// Output position y reads input rows [y*stride - pad, y*stride - pad + k),
+/// so the mapping is a pure index computation; tests/stream_test.cc pins it
+/// against a brute-force receptive-field scan over a stride/pad/kernel grid.
+SpatialRegion conv_dirty_out_region(const Conv2dGeometry& g,
+                                    const SpatialRegion& in);
+
+/// im2col restricted to the output positions inside `region` (clipped to the
+/// output plane): writes a (patch, region.area()) column matrix whose column
+/// j = (y - r0)*region.width() + (x - c0) is byte-identical to column
+/// y*out_w + x of the full im2col. Partial lowering for the streaming delta
+/// path: a GEMM over these columns reproduces the full pass's bits for the
+/// region because every output element's FP sequence depends only on its own
+/// column (see tensor/gemm_kernel.h's determinism contract).
+void im2col_region(const float* x, const Conv2dGeometry& g,
+                   const SpatialRegion& region, float* cols);
+
 /// col2im scatter-add, inverse of im2col (for input gradients).
 void col2im(const float* cols, const Conv2dGeometry& g, float* x);
 
